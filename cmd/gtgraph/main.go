@@ -1,0 +1,64 @@
+// Command gtgraph generates R-MAT graphs (the GTgraph substitute used by
+// the GCOL and GCON benchmarks) and prints them as an edge list or a
+// degree summary.
+//
+// Usage:
+//
+//	gtgraph -v 1024 -e 4096 -seed 3            # edge list on stdout
+//	gtgraph -v 1024 -e 4096 -summary
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"scord/internal/gtgraph"
+)
+
+func main() {
+	var (
+		v       = flag.Int("v", 1024, "vertices")
+		e       = flag.Int("e", 4096, "undirected edges")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		summary = flag.Bool("summary", false, "print degree statistics instead of edges")
+	)
+	flag.Parse()
+
+	g := gtgraph.RMAT(*v, *e, *seed)
+
+	if *summary {
+		degs := make([]int, g.V)
+		maxDeg := 0
+		for i := range degs {
+			degs[i] = g.Degree(i)
+			if degs[i] > maxDeg {
+				maxDeg = degs[i]
+			}
+		}
+		sort.Ints(degs)
+		comps := map[int32]int{}
+		for _, l := range gtgraph.Components(g) {
+			comps[l]++
+		}
+		fmt.Printf("vertices     %d\n", g.V)
+		fmt.Printf("edges        %d\n", g.Edges())
+		fmt.Printf("max degree   %d\n", maxDeg)
+		fmt.Printf("median deg   %d\n", degs[len(degs)/2])
+		fmt.Printf("components   %d\n", len(comps))
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# RMAT v=%d e=%d seed=%d\n", g.V, g.Edges(), *seed)
+	for u := 0; u < g.V; u++ {
+		for _, n := range g.Neighbors(u) {
+			if int32(u) < n {
+				fmt.Fprintf(w, "%d %d\n", u, n)
+			}
+		}
+	}
+}

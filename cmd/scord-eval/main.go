@@ -1,0 +1,105 @@
+// Command scord-eval regenerates the ScoRD paper's evaluation: Tables VI,
+// VII and VIII, the data series behind Figures 8, 9, 10 and 11, and the
+// design-choice ablations of DESIGN.md.
+//
+// Usage:
+//
+//	scord-eval                      # run everything
+//	scord-eval -only fig8           # one experiment
+//	scord-eval -seed 7              # different workload seed
+//	scord-eval -csv out/            # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"scord/internal/config"
+	"scord/internal/harness"
+)
+
+// result is what every experiment produces: a rendered text table, and
+// CSV rows for plotting.
+type result interface {
+	Render() string
+	CSV() [][]string
+}
+
+func main() {
+	var (
+		only   = flag.String("only", "", "run one experiment: table6|table7|table8|fig8|fig9|fig10|fig11|ablation-ratio|ablation-inbox|ablation-rate")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		csvDir = flag.String("csv", "", "directory to write one CSV per experiment (created if missing)")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.Seed = *seed
+	opt := harness.Options{Config: &cfg}
+
+	type experiment struct {
+		name string
+		run  func() (result, error)
+	}
+	exps := []experiment{
+		{"table6", func() (result, error) { return harness.RunTable6(opt) }},
+		{"table7", func() (result, error) { return harness.RunTable7(opt) }},
+		{"table8", func() (result, error) { return harness.RunTable8(opt) }},
+		{"fig8", func() (result, error) { return harness.RunFig8(opt) }},
+		{"fig9", func() (result, error) { return harness.RunFig9(opt) }},
+		{"fig10", func() (result, error) { return harness.RunFig10(opt) }},
+		{"fig11", func() (result, error) { return harness.RunFig11(opt) }},
+		{"ablation-ratio", func() (result, error) { return harness.RunAblationCacheRatio(opt) }},
+		{"ablation-inbox", func() (result, error) { return harness.RunAblationInbox(opt) }},
+		{"ablation-rate", func() (result, error) { return harness.RunAblationRate(opt) }},
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "scord-eval:", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && !strings.EqualFold(*only, e.name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scord-eval: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scord-eval:", err)
+				os.Exit(1)
+			}
+			if err := harness.WriteCSV(f, res); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "scord-eval:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "scord-eval:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "scord-eval: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,251 @@
+// Command scord runs one ScoR benchmark on the simulated GPU, optionally
+// with race injections and a chosen detector design, and prints the
+// detected races and simulation statistics.
+//
+// Usage:
+//
+//	scord -list
+//	scord -bench GCOL -mode scord -inject own-atomic,steal-atomic
+//	scord -bench UTS -mode base
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+	"scord/internal/stats"
+	"scord/internal/trace"
+)
+
+// jsonReport is the machine-readable output of -json.
+type jsonReport struct {
+	Benchmark  string           `json:"benchmark"`
+	Detector   string           `json:"detector"`
+	Injections []string         `json:"injections,omitempty"`
+	Seed       int64            `json:"seed"`
+	Stats      *stats.Stats     `json:"stats"`
+	Kernels    []jsonKernel     `json:"kernels"`
+	Races      []jsonRace       `json:"races"`
+	Match      *jsonMatchResult `json:"match,omitempty"`
+}
+
+type jsonKernel struct {
+	Name    string `json:"name"`
+	Blocks  int    `json:"blocks"`
+	Threads int    `json:"threads"`
+	Cycles  uint64 `json:"cycles"`
+	MemOps  uint64 `json:"memOps"`
+}
+
+type jsonRace struct {
+	Kind      string `json:"kind"`
+	Scope     string `json:"scope"`
+	Location  string `json:"location"`
+	Site      string `json:"site,omitempty"`
+	PrevBlock int    `json:"prevBlock"`
+	PrevWarp  int    `json:"prevWarp"`
+	CurBlock  int    `json:"curBlock"`
+	CurWarp   int    `json:"curWarp"`
+	Count     int    `json:"count"`
+}
+
+type jsonMatchResult struct {
+	Expected int      `json:"expected"`
+	Caught   []string `json:"caught"`
+	Missed   []string `json:"missed,omitempty"`
+}
+
+func allBenchmarks() []scor.Benchmark {
+	return append(scor.Apps(), micro.Benchmarks()...)
+}
+
+func parseMode(s string) (config.DetectorMode, error) {
+	switch s {
+	case "off":
+		return config.ModeOff, nil
+	case "base":
+		return config.ModeFull4B, nil
+	case "scord":
+		return config.ModeCached, nil
+	case "gran8":
+		return config.ModeGran8B, nil
+	case "gran16":
+		return config.ModeGran16B, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (off|base|scord|gran8|gran16)", s)
+}
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to run (see -list)")
+		mode      = flag.String("mode", "scord", "detector: off|base|scord|gran8|gran16")
+		inject    = flag.String("inject", "", "comma-separated race injections ('all' for every one)")
+		list      = flag.Bool("list", false, "list benchmarks and their injections")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
+		traceN    = flag.Int("trace", 0, "dump the last N execution events after the run")
+		scale     = flag.Int("scale", 1, "multiply the benchmark's input size (device memory scales too)")
+		explain   = flag.Bool("explain", false, "print a diagnosis and fix suggestion per race")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range allBenchmarks() {
+			if inj := b.Injections(); len(inj) > 0 {
+				fmt.Printf("%-40s injections: %s\n", b.Name(), strings.Join(inj, ","))
+			} else {
+				fmt.Printf("%-40s\n", b.Name())
+			}
+		}
+		return
+	}
+	if *benchName == "" {
+		fmt.Fprintln(os.Stderr, "scord: -bench required (or -list)")
+		os.Exit(2)
+	}
+
+	var bench scor.Benchmark
+	for _, b := range allBenchmarks() {
+		if strings.EqualFold(b.Name(), *benchName) {
+			bench = b
+			break
+		}
+	}
+	if bench == nil {
+		fmt.Fprintf(os.Stderr, "scord: unknown benchmark %q\n", *benchName)
+		os.Exit(2)
+	}
+
+	dm, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scord:", err)
+		os.Exit(2)
+	}
+
+	var active []string
+	switch *inject {
+	case "":
+	case "all":
+		active = bench.Injections()
+	default:
+		active = strings.Split(*inject, ",")
+	}
+
+	if err := scor.Scale(bench, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "scord:", err)
+		os.Exit(2)
+	}
+	cfg := config.Default().WithDetector(dm)
+	cfg.Seed = *seed
+	cfg.DeviceMemBytes *= *scale
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scord:", err)
+		os.Exit(1)
+	}
+	var tr *trace.Tracer
+	if *traceN > 0 {
+		tr = trace.New(*traceN)
+		dev.AttachTracer(tr)
+	}
+	if err := bench.Run(dev, active); err != nil {
+		fmt.Fprintf(os.Stderr, "scord: %s failed: %v\n", bench.Name(), err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		emitJSON(dev, bench, dm, active, *seed)
+		return
+	}
+
+	st := dev.Stats()
+	fmt.Printf("benchmark  %s\n", bench.Name())
+	fmt.Printf("detector   %v\n", dm)
+	fmt.Printf("injections %v\n", active)
+	fmt.Printf("cycles     %d\n", st.Cycles)
+	fmt.Printf("mem ops    %d (atomics %d, fences %d, barriers %d)\n",
+		st.MemOps, st.Atomics, st.Fences, st.Barriers)
+	fmt.Printf("L1 hit     %.1f%%\n", 100*st.L1HitRate())
+	fmt.Printf("DRAM       %d data + %d metadata accesses\n",
+		st.DRAMDataAccesses, st.DRAMMetaAccesses)
+	if dm != config.ModeOff {
+		fmt.Printf("checks     %d (%d trivially race-free)\n", st.DetectorChecks, st.DetectorPrelimOK)
+	}
+
+	recs := dev.Races()
+	fmt.Printf("\n%d unique race(s) detected\n", len(recs))
+	for _, r := range recs {
+		if *explain {
+			fmt.Println(dev.ExplainRecord(r))
+		} else {
+			fmt.Println("  ", dev.DescribeRecord(r))
+		}
+	}
+	if len(active) > 0 {
+		res := scor.MatchRaces(dev, bench.ExpectedRaces(active))
+		fmt.Printf("\nexpected %d unique race(s): caught %v", res.Expected, res.Caught)
+		if len(res.Missed) > 0 {
+			fmt.Printf(", MISSED %v", res.Missed)
+		}
+		fmt.Println()
+	}
+
+	if tr != nil {
+		fmt.Printf("\nlast %d execution events:\n", tr.Len())
+		if _, err := tr.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "scord:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emitJSON(dev *gpu.Device, bench scor.Benchmark, dm config.DetectorMode, active []string, seed int64) {
+	rep := jsonReport{
+		Benchmark:  bench.Name(),
+		Detector:   dm.String(),
+		Injections: active,
+		Seed:       seed,
+		Stats:      dev.Stats(),
+	}
+	for _, k := range dev.KernelLog() {
+		rep.Kernels = append(rep.Kernels, jsonKernel{
+			Name: k.Name, Blocks: k.Blocks, Threads: k.Threads,
+			Cycles: k.Cycles, MemOps: k.Stats.MemOps,
+		})
+	}
+	for _, r := range dev.Races() {
+		scope := "device"
+		if r.SameBlock {
+			scope = "block"
+		}
+		rep.Races = append(rep.Races, jsonRace{
+			Kind:      r.Kind.String(),
+			Scope:     scope,
+			Location:  dev.Mem().Describe(mem.Addr(r.Addr)),
+			Site:      r.Site,
+			PrevBlock: r.PrevBlock,
+			PrevWarp:  r.PrevWarp,
+			CurBlock:  r.CurBlock,
+			CurWarp:   r.CurWarp,
+			Count:     r.Count,
+		})
+	}
+	if len(active) > 0 {
+		res := scor.MatchRaces(dev, bench.ExpectedRaces(active))
+		rep.Match = &jsonMatchResult{Expected: res.Expected, Caught: res.Caught, Missed: res.Missed}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "scord:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module scord
+
+go 1.22

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scord/internal/mem"
+)
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(1024, 2, 128, true)
+	m := mem.New(1 << 16)
+	m.Write(260, 77)
+	hit, _ := c.Access(260)
+	if hit {
+		t.Fatal("cold access hit")
+	}
+	c.FillFrom(260, m)
+	if hit, _ := c.Access(260); !hit {
+		t.Fatal("second access missed")
+	}
+	if v := c.ReadWord(260); v != 77 {
+		t.Fatalf("ReadWord = %d", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 4 sets of 128B lines: addresses 0, 1024, 2048 share set 0.
+	c := New(1024, 2, 128, false)
+	c.Access(0)
+	c.Access(1024)
+	c.Access(0) // touch 0: 1024 becomes LRU
+	_, ev := c.Access(2048)
+	if !ev.Valid || ev.Base != 1024 {
+		t.Fatalf("evicted %+v, want line 1024", ev)
+	}
+	if !c.Contains(0) || c.Contains(1024) || !c.Contains(2048) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyWritebackWords(t *testing.T) {
+	c := New(1024, 2, 128, true)
+	m := mem.New(1 << 16)
+	c.Access(0)
+	c.FillFrom(0, m)
+	c.WriteWord(4, 11)
+	c.WriteWord(12, 22)
+	ev := c.InvalidateLine(0)
+	if !ev.Dirty {
+		t.Fatal("line not dirty")
+	}
+	if n := WritebackWords(ev, m); n != 2 {
+		t.Fatalf("wrote back %d words, want 2", n)
+	}
+	if m.Read(4) != 11 || m.Read(12) != 22 {
+		t.Fatal("writeback lost values")
+	}
+	if m.Read(8) != 0 {
+		t.Fatal("clean word clobbered")
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	// The cache is deliberately non-coherent: global updates after a fill
+	// are invisible until invalidation.
+	c := New(1024, 2, 128, true)
+	m := mem.New(1 << 16)
+	c.Access(0)
+	c.FillFrom(0, m)
+	m.Write(4, 99)
+	if v := c.ReadWord(4); v != 0 {
+		t.Fatalf("cache coherent?! read %d", v)
+	}
+	c.InvalidateLine(0)
+	c.Access(4)
+	c.FillFrom(4, m)
+	if v := c.ReadWord(4); v != 99 {
+		t.Fatalf("refetch read %d", v)
+	}
+}
+
+func TestDirtyWordAndUpdateIfPresent(t *testing.T) {
+	c := New(1024, 2, 128, true)
+	m := mem.New(1 << 16)
+	c.Access(128)
+	c.FillFrom(128, m)
+	c.WriteWord(132, 5)
+	if _, dirty, ok := c.DirtyWord(132); !ok || !dirty {
+		t.Fatal("dirty word not reported")
+	}
+	c.UpdateWordIfPresent(132, 8)
+	if v, dirty, _ := c.DirtyWord(132); v != 8 || dirty {
+		t.Fatalf("UpdateWordIfPresent: v=%d dirty=%v", v, dirty)
+	}
+	c.UpdateWordIfPresent(4096, 1) // absent line: no-op, no panic
+}
+
+func TestFlushAllWith(t *testing.T) {
+	c := New(1024, 2, 128, true)
+	m := mem.New(1 << 16)
+	for _, a := range []mem.Addr{0, 128, 256} {
+		c.Access(a)
+		c.FillFrom(a, m)
+	}
+	c.WriteWord(0, 1)
+	c.WriteWord(256, 2)
+	var flushed []mem.Addr
+	n := c.FlushAllWith(m, func(b mem.Addr) { flushed = append(flushed, b) })
+	if n != 2 || len(flushed) != 2 {
+		t.Fatalf("flushed %d lines (%v), want 2", n, flushed)
+	}
+	if m.Read(0) != 1 || m.Read(256) != 2 {
+		t.Fatal("flush lost dirty values")
+	}
+	if c.Contains(128) {
+		t.Fatal("flush left lines resident")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad geometry")
+		}
+	}()
+	New(1000, 3, 128, false)
+}
+
+// Property: a data cache with writebacks applied on every eviction and a
+// final flush preserves every stored value (single writer).
+func TestWritebackPreservesValues(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(512, 2, 128, true) // tiny: plenty of evictions
+		m := mem.New(1 << 14)
+		model := map[mem.Addr]uint32{}
+		for i, op := range ops {
+			a := mem.Addr(op%0x3F0) &^ 3
+			if !c.Contains(a) {
+				_, ev := c.Access(a)
+				if ev.Valid && ev.Dirty {
+					WritebackWords(ev, m)
+				}
+				c.FillFrom(a, m)
+			}
+			v := uint32(i + 1)
+			c.WriteWord(a, v)
+			model[a] = v
+		}
+		c.FlushAll(m)
+		for a, v := range model {
+			if m.Read(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+// Bloom is the 16-bit lock bloom filter that summarizes the locks a warp
+// actively holds. A copy travels with every memory request to the race
+// detector, and the last accessor's filter is stored in the per-word
+// metadata (Figure 7, bits [15:0]). The lockset check of Table IV
+// conditions (e) and (f) is a bitwise AND of two filters.
+type Bloom uint16
+
+// lockHash reduces a lock-variable address to the 6-bit hash stored in
+// lock-table entries. A multiplicative hash spreads nearby addresses.
+func lockHash(addr uint64) uint8 {
+	return uint8((addr / 4 * 2654435761) >> 8 & 0x3F)
+}
+
+// bloomAdd sets the filter bits for one held lock. Two probe positions are
+// derived from the 6-bit hash and the scope bit; two probes keep the
+// false-common-lock rate low in a 16-bit filter.
+func bloomAdd(b Bloom, hash uint8, scope Scope) Bloom {
+	p1 := hash & 15
+	p2 := ((hash >> 2) ^ (uint8(scope) << 3)) & 15
+	return b | 1<<p1 | 1<<p2
+}
+
+// Intersects reports whether two filters share any set bit — i.e. whether
+// the two accesses plausibly hold a common lock.
+func (b Bloom) Intersects(o Bloom) bool { return b&o != 0 }
+
+// Empty reports whether no locks are summarized.
+func (b Bloom) Empty() bool { return b == 0 }

@@ -1,0 +1,21 @@
+package core
+
+// Checker is the observational interface a race-detection model exposes to
+// the simulator. The real ScoRD detector influences timing (metadata
+// traffic, stalls); Checkers are purely functional taps on the same access
+// stream, used to model the related detectors of Table VIII (HAccRG,
+// Barracuda, CURD, LDetector) for the capability-matrix experiment.
+type Checker interface {
+	// Name identifies the model in reports.
+	Name() string
+	// OnKernelStart resets per-kernel state (kernel launch = global sync).
+	OnKernelStart()
+	// OnAccess observes one global-memory access.
+	OnAccess(a Access)
+	// OnFence observes a scoped fence by a warp.
+	OnFence(block, warp int, scope Scope)
+	// OnAtomicOp observes the lock-inference-relevant part of an atomic.
+	OnAtomicOp(block, warp int, op AtomicOp, addr uint64, scope Scope)
+	// Records returns the model's accumulated race reports.
+	Records() []Record
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainCoversEveryKind(t *testing.T) {
+	for k := RaceMissingBlockFence; k <= RaceDivergedWarp; k++ {
+		r := Record{Kind: k, Addr: 0x40, PrevBlock: 1, PrevWarp: 2, CurBlock: 3, CurWarp: 4, Count: 5}
+		out := Explain(r, nil)
+		if !strings.Contains(out, "fix:") {
+			t.Errorf("%v: no fix suggested:\n%s", k, out)
+		}
+		if !strings.Contains(out, "block 1/warp 2") || !strings.Contains(out, "block 3/warp 4") {
+			t.Errorf("%v: accessors missing:\n%s", k, out)
+		}
+	}
+}
+
+func TestExplainUsesLocator(t *testing.T) {
+	r := Record{Kind: RaceScopedAtomic, Addr: 0x80, Site: "app.counter.add"}
+	out := Explain(r, func(addr uint64) string { return "counter+0x0" })
+	if !strings.Contains(out, "counter+0x0") || !strings.Contains(out, "app.counter.add") {
+		t.Fatalf("locator/site not used:\n%s", out)
+	}
+	if !strings.Contains(out, "device scope") {
+		t.Fatalf("scoped-atomic fix missing:\n%s", out)
+	}
+}
+
+func TestExplainScopeNote(t *testing.T) {
+	same := Explain(Record{Kind: RaceMissingBlockFence, SameBlock: true}, nil)
+	diff := Explain(Record{Kind: RaceMissingDeviceFence}, nil)
+	if !strings.Contains(same, "same threadblock") || !strings.Contains(diff, "different threadblocks") {
+		t.Fatal("scope note wrong")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/stats"
+)
+
+// FuzzEntryBitfields checks that arbitrary bit patterns decode and
+// re-encode consistently: setting any field leaves every other field
+// untouched, for any starting entry value.
+func FuzzEntryBitfields(f *testing.F) {
+	f.Add(uint64(0), uint8(3), 100, 17)
+	f.Add(^uint64(0), uint8(15), 127, 31)
+	f.Add(uint64(InitEntry), uint8(9), 64, 1)
+	f.Fuzz(func(t *testing.T, raw uint64, tag uint8, block, warp int) {
+		e := Entry(raw)
+		tag &= 0xF
+		block &= 127
+		warp &= 31
+		before := [3]interface{}{e.Bloom(), e.BarrierID(), e.Modified()}
+		e2 := e.WithTag(tag).WithBlockID(block).WithWarpID(warp)
+		if e2.Tag() != tag || e2.BlockID() != block || e2.WarpID() != warp {
+			t.Fatalf("fields lost: %x", uint64(e2))
+		}
+		after := [3]interface{}{e2.Bloom(), e2.BarrierID(), e2.Modified()}
+		if before != after {
+			t.Fatalf("setters disturbed unrelated fields: %v -> %v", before, after)
+		}
+	})
+}
+
+// FuzzDetectorNeverPanics feeds arbitrary access streams to the detector
+// in every metadata mode: it must never panic, and its record buffer must
+// stay bounded and well-formed.
+func FuzzDetectorNeverPanics(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 255, 255, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		for _, mode := range []config.DetectorMode{
+			config.ModeFull4B, config.ModeCached, config.ModeGran8B, config.ModeGran16B,
+		} {
+			cfg := config.Default().Detector
+			cfg.Mode = mode
+			d := NewDetector(cfg, 1<<12, 0, &stats.Stats{})
+			for i, op := range ops {
+				kind := []AccessKind{KindLoad, KindStore, KindAtomic}[int(op)%3]
+				scope := ScopeDevice
+				if op%5 == 0 {
+					scope = ScopeBlock
+				}
+				d.CheckAccess(Access{
+					Kind: kind, Scope: scope, Strong: op%2 == 0,
+					Addr:    uint64(op) % (1 << 14) * 4,
+					Block:   int(op) % 9,
+					Warp:    i % 7,
+					Barrier: op / 16,
+				})
+				switch op % 7 {
+				case 0:
+					d.OnFence(int(op)%9, i%7, scope)
+				case 1:
+					d.OnAtomicOp(int(op)%9, i%7, AtomicCAS, uint64(op)*4, scope)
+				case 2:
+					d.OnAtomicOp(int(op)%9, i%7, AtomicExch, uint64(op)*4, scope)
+				}
+			}
+			for _, r := range d.Records() {
+				if r.Count < 1 {
+					t.Fatalf("record with count %d", r.Count)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package core
+
+// lockEntry is one slot of the per-warp lock table: a 6-bit hash of the
+// lock variable's address, a scope bit, a valid bit and an active bit
+// (9 bits per entry, 4 entries per warp — Section IV-C's 36 bits).
+type lockEntry struct {
+	hash   uint8
+	scope  Scope
+	valid  bool
+	active bool
+}
+
+// LockTable is the 4-entry circular buffer each warp uses to infer lock
+// (acquire pattern: atomicCAS followed by a fence) and unlock (release
+// pattern: a fence followed by atomicExch) operations.
+type LockTable struct {
+	entries [4]lockEntry
+	next    int // circular insertion cursor
+}
+
+// OnCAS records an atomicCAS on addr: a candidate lock acquisition. The
+// entry is inserted valid but inactive; the following fence activates it.
+// A matching valid entry is refreshed instead of duplicated, so spinning
+// acquire loops do not flood the table.
+func (t *LockTable) OnCAS(addr uint64, scope Scope) {
+	h := lockHash(addr)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.hash == h && e.scope == scope {
+			return // already tracked (e.g. a spin loop retrying the CAS)
+		}
+	}
+	t.entries[t.next] = lockEntry{hash: h, scope: scope, valid: true}
+	t.next = (t.next + 1) % len(t.entries)
+}
+
+// OnFence activates the valid entries whose scope is matching or narrower
+// than the fence's scope: a device fence completes both block- and
+// device-scope acquires, a block fence only block-scope ones. A device
+// lock acquired with only a block fence therefore never becomes active —
+// its critical section appears unlocked, which is exactly the scoped-lock
+// race ScoRD must flag.
+func (t *LockTable) OnFence(scope Scope) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && scope.Includes(e.scope) {
+			e.active = true
+		}
+	}
+}
+
+// OnExch records an atomicExch on addr: a candidate lock release. The
+// entry with matching hash and scope is invalidated.
+func (t *LockTable) OnExch(addr uint64, scope Scope) {
+	h := lockHash(addr)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.hash == h && e.scope == scope {
+			e.valid = false
+			e.active = false
+			return
+		}
+	}
+}
+
+// Summary folds the active entries into the 16-bit bloom filter sent with
+// each memory request.
+func (t *LockTable) Summary() Bloom {
+	var b Bloom
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.active {
+			b = bloomAdd(b, e.hash, e.scope)
+		}
+	}
+	return b
+}
+
+// Held reports how many locks the warp actively holds (tests/debugging).
+func (t *LockTable) Held() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears the table (kernel boundary).
+func (t *LockTable) Reset() { *t = LockTable{} }

@@ -1,0 +1,107 @@
+package core
+
+import "testing"
+
+func TestAcquirePattern(t *testing.T) {
+	var lt LockTable
+	lt.OnCAS(0x100, ScopeDevice)
+	if lt.Held() != 0 {
+		t.Fatal("lock active before fence")
+	}
+	lt.OnFence(ScopeDevice)
+	if lt.Held() != 1 {
+		t.Fatal("device fence did not activate device lock")
+	}
+	if lt.Summary().Empty() {
+		t.Fatal("summary empty with active lock")
+	}
+}
+
+func TestBlockFenceDoesNotActivateDeviceLock(t *testing.T) {
+	var lt LockTable
+	lt.OnCAS(0x100, ScopeDevice)
+	lt.OnFence(ScopeBlock)
+	if lt.Held() != 0 {
+		t.Fatal("block fence activated a device-scope acquire")
+	}
+	// A device fence activates both scopes.
+	lt.OnCAS(0x200, ScopeBlock)
+	lt.OnFence(ScopeDevice)
+	if lt.Held() != 2 {
+		t.Fatalf("device fence activated %d locks, want 2", lt.Held())
+	}
+}
+
+func TestReleasePattern(t *testing.T) {
+	var lt LockTable
+	lt.OnCAS(0x100, ScopeDevice)
+	lt.OnFence(ScopeDevice)
+	lt.OnExch(0x100, ScopeDevice)
+	if lt.Held() != 0 {
+		t.Fatal("Exch did not release")
+	}
+}
+
+func TestExchScopeMismatchKeepsLock(t *testing.T) {
+	var lt LockTable
+	lt.OnCAS(0x100, ScopeDevice)
+	lt.OnFence(ScopeDevice)
+	lt.OnExch(0x100, ScopeBlock) // wrong-scope release
+	if lt.Held() != 1 {
+		t.Fatal("wrong-scope Exch released the lock")
+	}
+}
+
+func TestSpinDoesNotFloodTable(t *testing.T) {
+	var lt LockTable
+	for i := 0; i < 10; i++ {
+		lt.OnCAS(0x100, ScopeDevice) // retrying acquire loop
+	}
+	lt.OnCAS(0x200, ScopeDevice)
+	lt.OnCAS(0x300, ScopeDevice)
+	lt.OnCAS(0x400, ScopeDevice)
+	lt.OnFence(ScopeDevice)
+	if lt.Held() != 4 {
+		t.Fatalf("held %d locks, want 4 (spin must not evict)", lt.Held())
+	}
+}
+
+func TestCircularOverwrite(t *testing.T) {
+	var lt LockTable
+	for i := 0; i < 5; i++ {
+		lt.OnCAS(uint64(0x100*(i+1)), ScopeDevice)
+	}
+	lt.OnFence(ScopeDevice)
+	if lt.Held() != 4 {
+		t.Fatalf("held %d, want 4 (oldest entry overwritten)", lt.Held())
+	}
+}
+
+func TestFenceFileScopes(t *testing.T) {
+	var ff FenceFile
+	b0, d0 := ff.Get(3, 7)
+	ff.OnFence(3, 7, ScopeBlock)
+	b1, d1 := ff.Get(3, 7)
+	if b1 != (b0+1)&fenceIDMask || d1 != d0 {
+		t.Fatal("block fence must bump only the block counter")
+	}
+	ff.OnFence(3, 7, ScopeDevice)
+	b2, d2 := ff.Get(3, 7)
+	if b2 != b1 || d2 != (d1+1)&fenceIDMask {
+		t.Fatal("device fence must bump only the device counter")
+	}
+	// Other warps unaffected.
+	if b, d := ff.Get(3, 8); b != 0 || d != 0 {
+		t.Fatal("fence leaked to another warp")
+	}
+}
+
+func TestFenceIDWraparound(t *testing.T) {
+	var ff FenceFile
+	for i := 0; i < 1<<fenceIDBits; i++ {
+		ff.OnFence(0, 0, ScopeBlock)
+	}
+	if b, _ := ff.Get(0, 0); b != 0 {
+		t.Fatalf("counter did not wrap: %d", b)
+	}
+}

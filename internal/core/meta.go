@@ -1,0 +1,135 @@
+package core
+
+// Entry is one 8-byte metadata record tracking the last access to a unit
+// of global memory, with the exact bit layout of Figure 7:
+//
+//	[63-58] Unused   [57-54] Tag       [53-47] BlockID  [46-42] WarpID
+//	[41-36] DevFenceID  [35-30] BlkFenceID  [29-22] BarrierID
+//	[21-16] Flags    [15-0]  Lock Bloom Filter
+//
+// Flags (6 bits): Modified, BlkShared, DevShared, IsAtom, Scope, Strong.
+//
+// The ITS extension of Section VI repurposes the unused bits [63:58] as a
+// hasDiverged bit plus a 5-bit thread (lane) ID.
+type Entry uint64
+
+// Field shifts and widths.
+const (
+	bloomShift   = 0
+	bloomBits    = 16
+	flagsShift   = 16
+	flagsBits    = 6
+	barrierShift = 22
+	barrierBits  = 8
+	blkFShift    = 30
+	blkFBits     = 6
+	devFShift    = 36
+	devFBits     = 6
+	warpShift    = 42
+	warpBits     = 5
+	blockShift   = 47
+	blockBits    = 7
+	tagShift     = 54
+	tagBits      = 4
+	laneShift    = 58 // ITS extension: 5-bit lane ID in the unused field
+	laneBits     = 5
+	divergedBit  = 63 // ITS extension: warp had diverged at last access
+)
+
+// Flag bit positions within the 6-bit Flags field.
+const (
+	flagModified  = 1 << 0 // last access was a store or atomic
+	flagBlkShared = 1 << 1 // read by multiple warps of one block since re-init
+	flagDevShared = 1 << 2 // read across blocks since re-init
+	flagIsAtom    = 1 << 3 // last access was an atomic
+	flagScope     = 1 << 4 // last atomic's scope: set = block scope
+	flagStrong    = 1 << 5 // every access since re-init was strong
+)
+
+func field(e Entry, shift, bits uint) uint64 {
+	return uint64(e) >> shift & (1<<bits - 1)
+}
+
+func withField(e Entry, shift, bits uint, v uint64) Entry {
+	mask := uint64(1<<bits-1) << shift
+	return e&^Entry(mask) | Entry(v<<shift&mask)
+}
+
+// InitEntry is the boot/(re-)initialization pattern: Modified, BlkShared
+// and DevShared all set (Table III condition (a) recognizes it as
+// trivially race-free first access).
+const InitEntry Entry = Entry((flagModified | flagBlkShared | flagDevShared) << flagsShift)
+
+// Accessors.
+
+func (e Entry) Tag() uint8        { return uint8(field(e, tagShift, tagBits)) }
+func (e Entry) BlockID() int      { return int(field(e, blockShift, blockBits)) }
+func (e Entry) WarpID() int       { return int(field(e, warpShift, warpBits)) }
+func (e Entry) DevFenceID() uint8 { return uint8(field(e, devFShift, devFBits)) }
+func (e Entry) BlkFenceID() uint8 { return uint8(field(e, blkFShift, blkFBits)) }
+func (e Entry) BarrierID() uint8  { return uint8(field(e, barrierShift, barrierBits)) }
+func (e Entry) Bloom() Bloom      { return Bloom(field(e, bloomShift, bloomBits)) }
+
+func (e Entry) flags() uint64   { return field(e, flagsShift, flagsBits) }
+func (e Entry) Modified() bool  { return e.flags()&flagModified != 0 }
+func (e Entry) BlkShared() bool { return e.flags()&flagBlkShared != 0 }
+func (e Entry) DevShared() bool { return e.flags()&flagDevShared != 0 }
+func (e Entry) IsAtom() bool    { return e.flags()&flagIsAtom != 0 }
+func (e Entry) Strong() bool    { return e.flags()&flagStrong != 0 }
+
+// AtomScope returns the scope of the last atomic access (meaningful only
+// when IsAtom is set).
+func (e Entry) AtomScope() Scope {
+	if e.flags()&flagScope != 0 {
+		return ScopeBlock
+	}
+	return ScopeDevice
+}
+
+// ITS extension accessors.
+func (e Entry) Diverged() bool { return uint64(e)>>divergedBit&1 != 0 }
+func (e Entry) Lane() int      { return int(field(e, laneShift, laneBits)) }
+
+// Setters (value semantics: each returns the updated entry).
+
+func (e Entry) WithTag(t uint8) Entry        { return withField(e, tagShift, tagBits, uint64(t)) }
+func (e Entry) WithBlockID(b int) Entry      { return withField(e, blockShift, blockBits, uint64(b)) }
+func (e Entry) WithWarpID(w int) Entry       { return withField(e, warpShift, warpBits, uint64(w)) }
+func (e Entry) WithDevFenceID(v uint8) Entry { return withField(e, devFShift, devFBits, uint64(v)) }
+func (e Entry) WithBlkFenceID(v uint8) Entry { return withField(e, blkFShift, blkFBits, uint64(v)) }
+func (e Entry) WithBarrierID(v uint8) Entry {
+	return withField(e, barrierShift, barrierBits, uint64(v))
+}
+func (e Entry) WithBloom(b Bloom) Entry { return withField(e, bloomShift, bloomBits, uint64(b)) }
+
+func (e Entry) withFlag(bit uint64, on bool) Entry {
+	f := e.flags()
+	if on {
+		f |= bit
+	} else {
+		f &^= bit
+	}
+	return withField(e, flagsShift, flagsBits, f)
+}
+
+func (e Entry) WithModified(on bool) Entry  { return e.withFlag(flagModified, on) }
+func (e Entry) WithBlkShared(on bool) Entry { return e.withFlag(flagBlkShared, on) }
+func (e Entry) WithDevShared(on bool) Entry { return e.withFlag(flagDevShared, on) }
+func (e Entry) WithIsAtom(on bool) Entry    { return e.withFlag(flagIsAtom, on) }
+func (e Entry) WithStrong(on bool) Entry    { return e.withFlag(flagStrong, on) }
+
+func (e Entry) WithAtomScope(s Scope) Entry { return e.withFlag(flagScope, s == ScopeBlock) }
+
+func (e Entry) WithDiverged(on bool) Entry {
+	if on {
+		return e | 1<<divergedBit
+	}
+	return e &^ (1 << divergedBit)
+}
+func (e Entry) WithLane(l int) Entry { return withField(e, laneShift, laneBits, uint64(l)) }
+
+// IsInit reports whether the entry is in the (re-)initialized state —
+// Table III condition (a).
+func (e Entry) IsInit() bool {
+	return e.Modified() && e.BlkShared() && e.DevShared()
+}

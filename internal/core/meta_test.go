@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryFieldRoundTrip(t *testing.T) {
+	f := func(tag uint8, block, warp int, devF, blkF, barrier uint8, bloom uint16) bool {
+		tag &= 0xF
+		block &= 127
+		warp &= 31
+		devF &= 63
+		blkF &= 63
+		var e Entry
+		e = e.WithTag(tag).
+			WithBlockID(block).
+			WithWarpID(warp).
+			WithDevFenceID(devF).
+			WithBlkFenceID(blkF).
+			WithBarrierID(barrier).
+			WithBloom(Bloom(bloom))
+		return e.Tag() == tag &&
+			e.BlockID() == block &&
+			e.WarpID() == warp &&
+			e.DevFenceID() == devF &&
+			e.BlkFenceID() == blkF &&
+			e.BarrierID() == barrier &&
+			e.Bloom() == Bloom(bloom)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryFieldsIndependent(t *testing.T) {
+	// Setting one field never disturbs another (the Figure 7 bit ranges
+	// are disjoint).
+	var e Entry
+	e = e.WithBlockID(127).WithWarpID(31).WithBloom(0xFFFF).WithBarrierID(255)
+	e = e.WithDevFenceID(63)
+	if e.BlockID() != 127 || e.WarpID() != 31 || e.Bloom() != 0xFFFF || e.BarrierID() != 255 {
+		t.Fatalf("WithDevFenceID disturbed neighbours: %064b", uint64(e))
+	}
+}
+
+func TestFlags(t *testing.T) {
+	var e Entry
+	e = e.WithModified(true).WithStrong(true).WithIsAtom(true).WithAtomScope(ScopeBlock)
+	if !e.Modified() || !e.Strong() || !e.IsAtom() || e.AtomScope() != ScopeBlock {
+		t.Fatal("flag set lost")
+	}
+	e = e.WithModified(false).WithAtomScope(ScopeDevice)
+	if e.Modified() || e.AtomScope() != ScopeDevice || !e.Strong() {
+		t.Fatal("flag clear disturbed others")
+	}
+}
+
+func TestInitSentinel(t *testing.T) {
+	if !InitEntry.IsInit() {
+		t.Fatal("InitEntry not recognized as init")
+	}
+	if InitEntry.WithModified(false).IsInit() {
+		t.Fatal("non-init entry recognized as init")
+	}
+}
+
+func TestITSBits(t *testing.T) {
+	var e Entry
+	e = e.WithLane(31).WithDiverged(true).WithBlockID(100)
+	if e.Lane() != 31 || !e.Diverged() || e.BlockID() != 100 {
+		t.Fatal("ITS extension bits broken")
+	}
+	if e.WithDiverged(false).Diverged() {
+		t.Fatal("diverged bit did not clear")
+	}
+}
+
+func TestBloomTwoProbes(t *testing.T) {
+	b := bloomAdd(0, 13, ScopeDevice)
+	if b.Empty() {
+		t.Fatal("bloomAdd produced empty filter")
+	}
+	// Same hash+scope always intersects itself.
+	if !b.Intersects(bloomAdd(0, 13, ScopeDevice)) {
+		t.Fatal("identical locks do not intersect")
+	}
+}
+
+func TestLockHashStability(t *testing.T) {
+	if lockHash(0x1000) != lockHash(0x1000) {
+		t.Fatal("hash not deterministic")
+	}
+	if lockHash(0x1000)&^0x3F != 0 {
+		t.Fatal("hash exceeds 6 bits")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scord/internal/config"
+)
+
+// genAccess derives a plausible access from fuzz bytes.
+func genAccess(sel, addrSel, blockSel, warpSel byte) Access {
+	kinds := []AccessKind{KindLoad, KindStore, KindAtomic}
+	a := Access{
+		Kind:   kinds[int(sel)%3],
+		Addr:   uint64(addrSel%32) * 4,
+		Block:  int(blockSel % 4),
+		Warp:   int(warpSel % 4),
+		Strong: sel%2 == 0,
+		Scope:  ScopeDevice,
+	}
+	if sel%8 == 0 {
+		a.Scope = ScopeBlock
+	}
+	return a
+}
+
+// Property: a single warp executing any access sequence never races —
+// everything is program order.
+func TestSingleWarpNeverRaces(t *testing.T) {
+	f := func(ops []byte) bool {
+		d := newDet(config.ModeFull4B)
+		for i, op := range ops {
+			a := genAccess(op, byte(i), 0, 0)
+			a.Block, a.Warp = 2, 3 // fixed identity
+			if d.CheckAccess(a).Raced {
+				return false
+			}
+		}
+		return len(d.Records()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: alternating same-block accesses separated by a barrier after
+// every access never race (Table III (c)).
+func TestBarrierSeparationNeverRaces(t *testing.T) {
+	f := func(ops []byte) bool {
+		d := newDet(config.ModeFull4B)
+		barrier := uint8(0)
+		for i, op := range ops {
+			a := genAccess(op, op, 0, byte(i))
+			a.Block = 1 // same block, varying warps
+			a.Scope = ScopeDevice
+			a.Barrier = barrier
+			if d.CheckAccess(a).Raced {
+				return false
+			}
+			barrier++ // a barrier executes between every two accesses
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every recorded race names two distinct warps (no self-races).
+func TestRacesInvolveDistinctWarps(t *testing.T) {
+	f := func(ops []byte) bool {
+		d := newDet(config.ModeFull4B)
+		for i, op := range ops {
+			d.CheckAccess(genAccess(op, op, byte(i/3), byte(i/7)))
+		}
+		for _, r := range d.Records() {
+			if r.PrevBlock == r.CurBlock&127 && r.PrevWarp == r.CurWarp&31 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cached store never reports more races than the full store
+// on the same access trace (aliasing only suppresses detection).
+func TestCachedNeverExceedsFull(t *testing.T) {
+	f := func(ops []byte) bool {
+		full := newDet(config.ModeFull4B)
+		cached := newDet(config.ModeCached)
+		for i, op := range ops {
+			a := genAccess(op, op, byte(i/3), byte(i/5))
+			full.CheckAccess(a)
+			cached.CheckAccess(a)
+		}
+		return len(cached.Records()) <= len(full.Records())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: metadata updates keep the init sentinel unreachable — after
+// any access the entry is never in the (re-)initialized state.
+func TestInitSentinelUnreachable(t *testing.T) {
+	f := func(ops []byte) bool {
+		d := newDet(config.ModeFull4B)
+		for i, op := range ops {
+			a := genAccess(op, 0, byte(i/3), byte(i/5)) // all on one word
+			d.CheckAccess(a)
+			_, e, _, _ := d.Store().Lookup(0)
+			if e.IsInit() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: device-scope atomics from any mix of warps never race with
+// each other.
+func TestDeviceAtomicsNeverRaceProperty(t *testing.T) {
+	f := func(ids []byte) bool {
+		d := newDet(config.ModeFull4B)
+		for _, id := range ids {
+			a := Access{
+				Kind: KindAtomic, Scope: ScopeDevice, Strong: true,
+				Addr: 0x40, Block: int(id % 8), Warp: int(id / 8 % 4),
+			}
+			if d.CheckAccess(a).Raced {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fence-file counters stay within their 6-bit field for any
+// fence sequence.
+func TestFenceCountersStayInField(t *testing.T) {
+	f := func(fences []bool) bool {
+		var ff FenceFile
+		for _, dev := range fences {
+			s := ScopeBlock
+			if dev {
+				s = ScopeDevice
+			}
+			ff.OnFence(1, 2, s)
+			b, d := ff.Get(1, 2)
+			if b > fenceIDMask || d > fenceIDMask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// RaceKind classifies a detected race by the condition of Table IV that
+// fired.
+type RaceKind uint8
+
+const (
+	// RaceMissingBlockFence — conflicting same-block accesses with no fence
+	// in between (Table IV (a)).
+	RaceMissingBlockFence RaceKind = iota
+	// RaceMissingDeviceFence — conflicting cross-block accesses with no
+	// device-scope fence in between (Table IV (b)).
+	RaceMissingDeviceFence
+	// RaceNotStrong — conflicting accesses separated by a fence, but at
+	// least one access is weak, and fences order only strong operations
+	// (Table IV (c)).
+	RaceNotStrong
+	// RaceScopedAtomic — an atomic performed with block scope conflicts
+	// with an access from a different threadblock (Table IV (d)).
+	RaceScopedAtomic
+	// RaceMissingLockLoad — a load of a modified location with no common
+	// lock (Table IV (e)).
+	RaceMissingLockLoad
+	// RaceMissingLockStore — a store with no common lock (Table IV (f)).
+	RaceMissingLockStore
+	// RaceDivergedWarp — ITS extension (Section VI): conflicting accesses
+	// by different threads of one diverged warp.
+	RaceDivergedWarp
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case RaceMissingBlockFence:
+		return "missing-block-fence"
+	case RaceMissingDeviceFence:
+		return "missing-device-fence"
+	case RaceNotStrong:
+		return "not-strong-access"
+	case RaceScopedAtomic:
+		return "scoped-atomic"
+	case RaceMissingLockLoad:
+		return "missing-lock-load"
+	case RaceMissingLockStore:
+		return "missing-lock-store"
+	case RaceDivergedWarp:
+		return "diverged-warp"
+	default:
+		return fmt.Sprintf("RaceKind(%d)", int(k))
+	}
+}
+
+// Record is one detected race. ScoRD never stops at the first race: records
+// accumulate in a buffer so a single execution reports multiple bugs.
+type Record struct {
+	Kind      RaceKind
+	Addr      uint64 // word-aligned data address (group base for coarse modes)
+	SameBlock bool   // block-scope (same threadblock) vs device-scope conflict
+	PrevBlock int    // last accessor recorded in metadata (7-bit block id)
+	PrevWarp  int
+	CurBlock  int // current accessor (full ids)
+	CurWarp   int
+	Site      string // source-site label of the current access, if provided
+	Cycle     uint64 // first occurrence
+	Count     int    // occurrences folded into this record
+}
+
+func (r Record) String() string {
+	scope := "device-scope"
+	if r.SameBlock {
+		scope = "block-scope"
+	}
+	return fmt.Sprintf("%s %s race @%#x site=%q prev=(b%d,w%d) cur=(b%d,w%d) cycle=%d x%d",
+		scope, r.Kind, r.Addr, r.Site, r.PrevBlock, r.PrevWarp, r.CurBlock, r.CurWarp, r.Cycle, r.Count)
+}
+
+type recordKey struct {
+	kind RaceKind
+	addr uint64
+	site string
+}
+
+// maxRecords bounds the dedup buffer; a pathological kernel cannot exhaust
+// host memory. Extra distinct races beyond the cap still bump counts on a
+// sentinel overflow record.
+const maxRecords = 1 << 15

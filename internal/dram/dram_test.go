@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scord/internal/config"
+	"scord/internal/mem"
+)
+
+func TestRowBufferHitFasterThanMiss(t *testing.T) {
+	d := New(config.Default())
+	first := d.Access(0, 0)              // row miss: activate + CAS
+	second := d.Access(0, first) - first // same line: row hit
+	if second >= first {
+		t.Fatalf("row hit (%d cycles) not faster than activate (%d)", second, first)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := config.Default()
+	d := New(cfg)
+	// Consecutive lines interleave over channels: issuing MemChannels
+	// transactions at once should not serialize.
+	var last uint64
+	for i := 0; i < cfg.MemChannels; i++ {
+		done := d.Access(mem.Addr(i*cfg.LineSize), 0)
+		if done > last {
+			last = done
+		}
+	}
+	serial := d.Access(0, 0)
+	for i := 1; i < cfg.MemChannels; i++ {
+		serial = d.Access(0, serial)
+	}
+	if last >= serial {
+		t.Fatalf("parallel channels (%d) not faster than serialized bank (%d)", last, serial)
+	}
+}
+
+func TestBankOccupancySerializes(t *testing.T) {
+	d := New(config.Default())
+	a := mem.Addr(0)
+	t1 := d.Access(a, 0)
+	t2 := d.Access(a, 0) // same bank, ready at 0: must queue behind t1
+	if t2 <= t1 {
+		t.Fatalf("second access (%d) did not queue behind first (%d)", t2, t1)
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	d := New(config.Default())
+	for i := 0; i < 5; i++ {
+		d.Access(mem.Addr(i*128), 0)
+	}
+	if d.Accesses() != 5 {
+		t.Fatalf("Accesses = %d, want 5", d.Accesses())
+	}
+}
+
+// Property: completion is never before the ready cycle, and per-bank
+// completions are monotone.
+func TestTimingMonotoneProperty(t *testing.T) {
+	cfg := config.Default()
+	f := func(ops []uint16) bool {
+		d := New(cfg)
+		lastPerBank := map[[2]int]uint64{}
+		clock := uint64(0)
+		for _, op := range ops {
+			a := mem.Addr(op) * 128
+			done := d.Access(a, clock)
+			if done < clock {
+				return false
+			}
+			ch, bk, _ := d.mapAddr(a)
+			k := [2]int{ch, bk}
+			if done <= lastPerBank[k] && lastPerBank[k] != 0 {
+				return false
+			}
+			lastPerBank[k] = done
+			clock += uint64(op % 7)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

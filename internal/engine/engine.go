@@ -1,0 +1,95 @@
+// Package engine provides the deterministic discrete-event core that drives
+// every timed component of the GPU simulator. Events are ordered by
+// (cycle, insertion sequence), so identical inputs always replay the exact
+// same schedule.
+package engine
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type item struct {
+	cycle uint64
+	seq   uint64
+	fn    Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic event queue. It is not safe for concurrent use;
+// the whole simulation runs on one goroutine (warp coroutines only execute
+// while the engine waits on them).
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the
+// past runs at the current cycle instead (never before: the engine only
+// moves forward).
+func (e *Engine) At(cycle uint64, fn Event) {
+	if cycle < e.now {
+		cycle = e.now
+	}
+	heap.Push(&e.events, item{cycle: cycle, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn delay cycles from now.
+func (e *Engine) After(delay uint64, fn Event) {
+	e.At(e.now+delay, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its cycle.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(item)
+	e.now = it.cycle
+	it.fn()
+	return true
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// RunUntilIdle drains the event queue, returning the final cycle. The
+// limit guards against runaway simulations (0 means no limit); it returns
+// ok=false if the limit was hit with events still pending.
+func (e *Engine) RunUntilIdle(limit uint64) (cycle uint64, ok bool) {
+	for e.Step() {
+		if limit != 0 && e.now > limit {
+			return e.now, false
+		}
+	}
+	return e.now, true
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(5, func() { got = append(got, 5) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	for e.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %d, want 5", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	for e.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		e.At(3, func() {
+			if e.Now() != 10 {
+				t.Errorf("past event ran at %d, want clamp to 10", e.Now())
+			}
+		})
+	})
+	for e.Step() {
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(2, rec)
+		}
+	}
+	e.After(0, rec)
+	cycle, ok := e.RunUntilIdle(0)
+	if !ok || depth != 100 {
+		t.Fatalf("depth=%d ok=%v", depth, ok)
+	}
+	if cycle != 2*99 {
+		t.Fatalf("final cycle %d, want %d", cycle, 2*99)
+	}
+}
+
+func TestRunUntilIdleLimit(t *testing.T) {
+	e := New()
+	var rec func()
+	rec = func() { e.After(10, rec) }
+	e.After(0, rec)
+	if _, ok := e.RunUntilIdle(500); ok {
+		t.Fatal("limit not enforced on runaway schedule")
+	}
+}
+
+// Property: the engine drains events in nondecreasing cycle order no
+// matter the insertion order.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		e := New()
+		var runs []uint64
+		for _, c := range cycles {
+			c := uint64(c)
+			e.At(c, func() { runs = append(runs, e.Now()) })
+		}
+		for e.Step() {
+		}
+		for i := 1; i < len(runs); i++ {
+			if runs[i] < runs[i-1] {
+				return false
+			}
+		}
+		return len(runs) == len(cycles)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

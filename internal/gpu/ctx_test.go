@@ -1,0 +1,219 @@
+package gpu
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/mem"
+)
+
+// TestGatherScatterVectors: LoadVec/StoreVec work on arbitrary
+// (non-contiguous) per-lane addresses.
+func TestGatherScatterVectors(t *testing.T) {
+	d := newDev(t, config.Default())
+	arr := d.Alloc("arr", 1024)
+	out := d.Alloc("out", 32)
+	for i := 0; i < 1024; i++ {
+		d.Mem().Write(arr+mem.Addr(i*4), uint32(i*i))
+	}
+	err := d.Launch("gather", 1, 32, func(c *Ctx) {
+		addrs := make([]mem.Addr, 32)
+		for lane := range addrs {
+			addrs[lane] = arr + mem.Addr(lane*31*4) // strided gather
+		}
+		vals := append([]uint32(nil), c.LoadVec(addrs, false)...)
+		c.StoreVec(c.Seq(out, 32), vals, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 32; lane++ {
+		want := uint32(lane * 31 * lane * 31)
+		if got := d.Mem().Read(out + mem.Addr(lane*4)); got != want {
+			t.Fatalf("out[%d] = %d, want %d", lane, got, want)
+		}
+	}
+}
+
+// TestScalarOpsDoNotClobberVectorResults: the dedicated scalar buffers
+// keep a LoadVec result alive across interleaved scalar operations.
+func TestScalarOpsDoNotClobberVectorResults(t *testing.T) {
+	d := newDev(t, config.Default())
+	arr := d.Alloc("arr", 32)
+	scratch := d.Alloc("scratch", 1)
+	sum := d.Alloc("sum", 1)
+	for i := 0; i < 32; i++ {
+		d.Mem().Write(arr+mem.Addr(i*4), uint32(i+1))
+	}
+	err := d.Launch("alias", 1, 32, func(c *Ctx) {
+		vals := c.LoadVec(c.Seq(arr, 32), false)
+		total := uint32(0)
+		for _, v := range vals {
+			c.AtomicAdd(scratch, 1, ScopeDevice) // scalar op between uses
+			total += v
+		}
+		c.StoreV(sum, total)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mem().Read(sum); got != 33*32/2 {
+		t.Fatalf("sum = %d, want %d (vector buffer clobbered by scalar ops)", got, 33*16)
+	}
+}
+
+// TestAtomicCASSemantics: success and failure paths return the old value.
+func TestAtomicCASSemantics(t *testing.T) {
+	d := newDev(t, config.Default())
+	x := d.Alloc("x", 1)
+	got := d.Alloc("got", 4)
+	err := d.Launch("cas", 1, 32, func(c *Ctx) {
+		c.StoreV(got+0, c.AtomicCAS(x, 0, 5, ScopeDevice)) // succeeds: old 0
+		c.StoreV(got+4, c.AtomicCAS(x, 0, 9, ScopeDevice)) // fails: old 5
+		c.StoreV(got+8, c.AtomicCAS(x, 5, 7, ScopeDevice)) // succeeds: old 5
+		c.StoreV(got+12, c.AtomicExch(x, 1, ScopeDevice))  // old 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 5, 5, 7}
+	for i, w := range want {
+		if v := d.Mem().Read(got + mem.Addr(i*4)); v != w {
+			t.Fatalf("step %d returned %d, want %d", i, v, w)
+		}
+	}
+	if v := d.Mem().Read(x); v != 1 {
+		t.Fatalf("x = %d, want 1", v)
+	}
+}
+
+// TestAtomicMaxAndVec: max semantics scalar and vector.
+func TestAtomicMaxAndVec(t *testing.T) {
+	d := newDev(t, config.Default())
+	xs := d.Alloc("xs", 4)
+	d.Mem().HostWrite(xs, []uint32{10, 20, 30, 40})
+	err := d.Launch("max", 1, 32, func(c *Ctx) {
+		c.AtomicMax(xs, 15, ScopeDevice) // 10 -> 15
+		addrs := []mem.Addr{xs + 4, xs + 8, xs + 12}
+		c.AtomicMaxVec(addrs, []uint32{5, 35, 40}, ScopeDevice) // 20, 30->35, 40
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{15, 20, 35, 40}
+	for i, w := range want {
+		if v := d.Mem().Read(xs + mem.Addr(i*4)); v != w {
+			t.Fatalf("xs[%d] = %d, want %d", i, v, w)
+		}
+	}
+}
+
+// TestAtomicReadVec reads concurrently-updated words atomically.
+func TestAtomicReadVec(t *testing.T) {
+	d := newDev(t, config.Default())
+	xs := d.Alloc("xs", 2)
+	d.Mem().HostWrite(xs, []uint32{11, 22})
+	res := d.Alloc("res", 2)
+	err := d.Launch("aread", 1, 32, func(c *Ctx) {
+		vals := c.AtomicReadVec([]mem.Addr{xs, xs + 4}, ScopeDevice)
+		c.StoreVec(c.Seq(res, 2), vals, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mem().Read(res) != 11 || d.Mem().Read(res+4) != 22 {
+		t.Fatal("atomic read-vector returned wrong values")
+	}
+	if d.Mem().Read(xs) != 11 {
+		t.Fatal("atomicAdd-of-zero modified the word")
+	}
+}
+
+// TestCoalescing: 32 contiguous words are one transaction; 32 words with
+// line-sized stride are 32 transactions (visible through cycle cost).
+func TestCoalescing(t *testing.T) {
+	run := func(stride int) uint64 {
+		d := newDev(t, config.Default())
+		arr := d.Alloc("arr", 32*64)
+		if err := d.Launch("c", 1, 32, func(c *Ctx) {
+			addrs := make([]mem.Addr, 32)
+			for lane := range addrs {
+				addrs[lane] = arr + mem.Addr(lane*stride*4)
+			}
+			c.LoadVec(addrs, false)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Cycles
+	}
+	coalesced := run(1)
+	scattered := run(32) // one line per lane
+	if scattered < 2*coalesced {
+		t.Fatalf("scattered access (%d cycles) not clearly slower than coalesced (%d)", scattered, coalesced)
+	}
+	// And the transaction count shows it directly.
+	d := newDev(t, config.Default())
+	arr := d.Alloc("arr", 32)
+	if err := d.Launch("one", 1, 32, func(c *Ctx) {
+		c.LoadVec(c.Seq(arr, 32), false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().L1Accesses != 1 {
+		t.Fatalf("contiguous warp load made %d transactions, want 1", d.Stats().L1Accesses)
+	}
+}
+
+// TestSiteSticky: the site label persists across operations and chains.
+func TestSiteSticky(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	d := newDev(t, cfg)
+	x := d.Alloc("x", 1)
+	err := d.Launch("site", 2, 32, func(c *Ctx) {
+		c.Site("label.one")
+		c.StoreV(x, uint32(c.Block)) // conflicting cross-block stores
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Races()
+	if len(recs) == 0 {
+		t.Fatal("expected a race to carry the site")
+	}
+	if recs[0].Site != "label.one" {
+		t.Fatalf("site = %q", recs[0].Site)
+	}
+}
+
+// TestWorkAdvancesTime: Work is pure delay.
+func TestWorkAdvancesTime(t *testing.T) {
+	d := newDev(t, config.Default())
+	if err := d.Launch("w", 1, 32, func(c *Ctx) { c.Work(1234) }); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Cycles < 1234 {
+		t.Fatalf("cycles = %d, want >= 1234", d.Stats().Cycles)
+	}
+	if d.Stats().MemOps != 0 {
+		t.Fatal("Work issued memory operations")
+	}
+}
+
+// TestGlobalWarpIdentity: identity helpers.
+func TestGlobalWarpIdentity(t *testing.T) {
+	d := newDev(t, config.Default())
+	ids := d.Alloc("ids", 8)
+	err := d.Launch("id", 2, 128, func(c *Ctx) {
+		c.StoreV(ids+mem.Addr(c.GlobalWarp()*4), uint32(c.Block*100+c.Warp))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		for w := 0; w < 4; w++ {
+			if got := d.Mem().Read(ids + mem.Addr((b*4+w)*4)); got != uint32(b*100+w) {
+				t.Fatalf("warp (%d,%d) wrote %d", b, w, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package gpu ties the simulated GPU together: streaming multiprocessors
+// with private non-coherent L1 caches, a banked shared L2, the SM<->L2
+// interconnect, GDDR5-timed DRAM channels, kernel launch and block
+// dispatch, the HRF-style scoped visibility rules, and the hook-up of the
+// ScoRD race detector on the L2 side of the interconnect (Figure 6 of the
+// paper).
+//
+// Kernels are Go functions executed at warp granularity by coroutines; the
+// single-threaded event engine resumes exactly one warp at a time, so every
+// simulation is deterministic.
+package gpu
+
+import (
+	"fmt"
+
+	"scord/internal/cache"
+	"scord/internal/config"
+	"scord/internal/core"
+	"scord/internal/dram"
+	"scord/internal/engine"
+	"scord/internal/mem"
+	"scord/internal/noc"
+	"scord/internal/stats"
+	"scord/internal/trace"
+)
+
+// Kernel is a GPU kernel body, executed once per warp.
+type Kernel func(c *Ctx)
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg config.Config
+	eng *engine.Engine
+	mem *mem.Memory
+	st  stats.Stats
+
+	l2      *cache.Cache
+	l2Ports []noc.Port
+	dram    *dram.DRAM
+	net     *noc.Network
+	sms     []*smState
+
+	det           *core.Detector
+	detPort       noc.Port // detector service occupancy, in check slots
+	metaLatchLine mem.Addr
+	metaLatchAt   uint64
+
+	// checkers are purely functional observers of the access stream (the
+	// Table VIII comparison models); they never affect timing.
+	checkers []core.Checker
+
+	// tracer, when attached, records per-warp execution events.
+	tracer *trace.Tracer
+
+	// State of the kernel currently executing.
+	kernel        Kernel
+	gridBlocks    int
+	warpsPerBlock int
+	pending       []int // block ids awaiting an SM slot
+	blocks        map[int]*blockState
+	liveWarps     int
+
+	kernelLog []KernelRun
+}
+
+// KernelRun records one completed launch: its geometry, wall-clock in
+// simulated cycles, and the per-launch delta of every statistic.
+type KernelRun struct {
+	Name    string
+	Blocks  int
+	Threads int
+	Cycles  uint64 // cycles this launch took (not cumulative)
+	Stats   stats.Stats
+}
+
+type smState struct {
+	id        int
+	l1        *cache.Cache
+	lsuFree   uint64 // next cycle the load/store unit can issue
+	resBlocks int
+	resWarps  int
+}
+
+type blockState struct {
+	id        int
+	sm        int
+	barrierID uint8
+	waiting   []*Ctx // warps parked at the current barrier
+	live      int    // warps not yet exited
+}
+
+// New builds a device from the configuration.
+func New(cfg config.Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:     cfg,
+		eng:     engine.New(),
+		mem:     mem.New(uint64(cfg.DeviceMemBytes)),
+		l2:      cache.New(cfg.L2Size, cfg.L2Assoc, cfg.LineSize, false),
+		l2Ports: make([]noc.Port, cfg.L2Banks),
+		dram:    dram.New(cfg),
+		blocks:  make(map[int]*blockState),
+	}
+	d.net = noc.New(cfg.NOCLat, cfg.NOCBytesPerCy, cfg.NumSMs, cfg.L2Banks, &d.st)
+	for i := 0; i < cfg.NumSMs; i++ {
+		d.sms = append(d.sms, &smState{
+			id: i,
+			l1: cache.New(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, true),
+		})
+	}
+	if cfg.Detector.Mode != config.ModeOff {
+		d.det = core.NewDetector(cfg.Detector, d.mem.Words(), uint64(cfg.DeviceMemBytes), &d.st)
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() config.Config { return d.cfg }
+
+// Mem exposes device memory for host-side setup and result readback.
+func (d *Device) Mem() *mem.Memory { return d.mem }
+
+// Alloc reserves n 4-byte words of device memory under a name that race
+// reports will use.
+func (d *Device) Alloc(name string, n int) mem.Addr { return d.mem.AllocWords(name, n) }
+
+// Stats returns the accumulated simulation statistics.
+func (d *Device) Stats() *stats.Stats { return &d.st }
+
+// Detector returns the race detector, or nil when detection is off.
+func (d *Device) Detector() *core.Detector { return d.det }
+
+// AddChecker attaches a functional race-detection model (a Table VIII
+// comparator) that observes the access stream without timing impact.
+func (d *Device) AddChecker(c core.Checker) { d.checkers = append(d.checkers, c) }
+
+// AttachTracer records execution events (memory transactions, fences,
+// barriers, kernel boundaries, races) into tr until detached with nil.
+// Tracing is purely observational.
+func (d *Device) AttachTracer(tr *trace.Tracer) { d.tracer = tr }
+
+// Races returns the accumulated race records (empty when detection is off).
+func (d *Device) Races() []core.Record {
+	if d.det == nil {
+		return nil
+	}
+	return d.det.Records()
+}
+
+// DescribeRecord renders a race record with the data address resolved to
+// its allocation name.
+func (d *Device) DescribeRecord(r core.Record) string {
+	scope := "device-scope"
+	if r.SameBlock {
+		scope = "block-scope"
+	}
+	return fmt.Sprintf("%s %s race on %s site=%q prev=(b%d,w%d) cur=(b%d,w%d) x%d",
+		scope, r.Kind, d.mem.Describe(mem.Addr(r.Addr)), r.Site,
+		r.PrevBlock, r.PrevWarp, r.CurBlock, r.CurWarp, r.Count)
+}
+
+// ExplainRecord renders a multi-line diagnosis of a race record — what was
+// observed, why it races under the scoped memory model, and the usual fix —
+// with addresses resolved to allocation names.
+func (d *Device) ExplainRecord(r core.Record) string {
+	return core.Explain(r, func(addr uint64) string { return d.mem.Describe(mem.Addr(addr)) })
+}
+
+// Cycles returns the current simulated cycle.
+func (d *Device) Cycles() uint64 { return d.eng.Now() }
+
+// Launch runs a kernel to completion: blocks*threadsPerBlock threads,
+// executed as warps of Config.WarpSize. It returns an error on invalid
+// geometry, barrier deadlock, or a runaway simulation.
+func (d *Device) Launch(name string, blocks, threadsPerBlock int, k Kernel) error {
+	switch {
+	case blocks <= 0:
+		return fmt.Errorf("gpu: launch %q with %d blocks", name, blocks)
+	case threadsPerBlock <= 0 || threadsPerBlock%d.cfg.WarpSize != 0:
+		return fmt.Errorf("gpu: launch %q with %d threads/block (must be a positive multiple of %d)",
+			name, threadsPerBlock, d.cfg.WarpSize)
+	case threadsPerBlock > d.cfg.MaxThreadsBlock:
+		return fmt.Errorf("gpu: launch %q with %d threads/block exceeds max %d",
+			name, threadsPerBlock, d.cfg.MaxThreadsBlock)
+	}
+	d.kernel = k
+	d.gridBlocks = blocks
+	d.warpsPerBlock = threadsPerBlock / d.cfg.WarpSize
+	d.pending = d.pending[:0]
+	d.blocks = make(map[int]*blockState)
+	d.liveWarps = 0
+
+	// A kernel launch is a device-wide synchronization point: caches drain
+	// and the detector's per-kernel state re-initializes.
+	for _, sm := range d.sms {
+		sm.l1.FlushAll(d.mem)
+		sm.resBlocks, sm.resWarps = 0, 0
+		sm.lsuFree = d.eng.Now()
+	}
+	if d.det != nil {
+		d.det.ResetForKernel()
+	}
+	for _, ch := range d.checkers {
+		ch.OnKernelStart()
+	}
+	if d.tracer != nil {
+		d.tracer.Record(trace.Event{Cycle: d.eng.Now(), Kind: trace.EvKernel, Info: name})
+	}
+
+	before := d.st
+	launchStart := d.eng.Now()
+
+	for b := 0; b < blocks; b++ {
+		d.pending = append(d.pending, b)
+	}
+	d.fillSMs()
+
+	// Drive the event loop to completion. The limit is generous: any
+	// realistic kernel in the suite finishes well under it.
+	const cycleLimit = 4_000_000_000
+	start := d.eng.Now()
+	for d.eng.Step() {
+		if d.eng.Now()-start > cycleLimit {
+			return fmt.Errorf("gpu: kernel %q exceeded %d cycles (livelock?)", name, uint64(cycleLimit))
+		}
+	}
+	if d.liveWarps != 0 || len(d.pending) != 0 {
+		return fmt.Errorf("gpu: kernel %q deadlocked with %d warps live, %d blocks undispatched (barrier mismatch?)",
+			name, d.liveWarps, len(d.pending))
+	}
+	// Kernel end: dirty lines become globally visible.
+	for _, sm := range d.sms {
+		sm.l1.FlushAll(d.mem)
+	}
+	d.st.Cycles = d.eng.Now()
+
+	run := KernelRun{
+		Name:    name,
+		Blocks:  blocks,
+		Threads: threadsPerBlock,
+		Cycles:  d.eng.Now() - launchStart,
+		Stats:   statsDelta(before, d.st),
+	}
+	d.kernelLog = append(d.kernelLog, run)
+	return nil
+}
+
+// KernelLog returns one entry per completed Launch with per-launch
+// statistics deltas.
+func (d *Device) KernelLog() []KernelRun {
+	out := make([]KernelRun, len(d.kernelLog))
+	copy(out, d.kernelLog)
+	return out
+}
+
+// statsDelta computes after-minus-before field-wise using the Add
+// machinery in reverse: since all fields are monotone counters, delta is
+// simple subtraction.
+func statsDelta(before, after stats.Stats) stats.Stats {
+	return stats.Stats{
+		Cycles:            after.Cycles - before.Cycles,
+		Instructions:      after.Instructions - before.Instructions,
+		MemOps:            after.MemOps - before.MemOps,
+		Atomics:           after.Atomics - before.Atomics,
+		Fences:            after.Fences - before.Fences,
+		Barriers:          after.Barriers - before.Barriers,
+		L1Accesses:        after.L1Accesses - before.L1Accesses,
+		L1Hits:            after.L1Hits - before.L1Hits,
+		L2DataAccesses:    after.L2DataAccesses - before.L2DataAccesses,
+		L2DataMisses:      after.L2DataMisses - before.L2DataMisses,
+		L2MetaAccesses:    after.L2MetaAccesses - before.L2MetaAccesses,
+		L2MetaMisses:      after.L2MetaMisses - before.L2MetaMisses,
+		DRAMDataAccesses:  after.DRAMDataAccesses - before.DRAMDataAccesses,
+		DRAMMetaAccesses:  after.DRAMMetaAccesses - before.DRAMMetaAccesses,
+		NOCFlits:          after.NOCFlits - before.NOCFlits,
+		NOCExtraFlits:     after.NOCExtraFlits - before.NOCExtraFlits,
+		DetectorChecks:    after.DetectorChecks - before.DetectorChecks,
+		DetectorPrelimOK:  after.DetectorPrelimOK - before.DetectorPrelimOK,
+		DetectorStalls:    after.DetectorStalls - before.DetectorStalls,
+		MetaCacheEvicts:   after.MetaCacheEvicts - before.MetaCacheEvicts,
+		RacesReported:     after.RacesReported - before.RacesReported,
+		ReleaseObserved:   after.ReleaseObserved - before.ReleaseObserved,
+		DivergentAccesses: after.DivergentAccesses - before.DivergentAccesses,
+	}
+}
+
+// fillSMs dispatches pending blocks onto SMs with free slots, round-robin.
+func (d *Device) fillSMs() {
+	for len(d.pending) > 0 {
+		sm := d.pickSM()
+		if sm == nil {
+			return
+		}
+		blockID := d.pending[0]
+		d.pending = d.pending[1:]
+		sm.resBlocks++
+		sm.resWarps += d.warpsPerBlock
+		bs := &blockState{id: blockID, sm: sm.id, live: d.warpsPerBlock}
+		d.blocks[blockID] = bs
+		for w := 0; w < d.warpsPerBlock; w++ {
+			d.startWarp(bs, w)
+		}
+	}
+}
+
+func (d *Device) pickSM() *smState {
+	var best *smState
+	for _, sm := range d.sms {
+		if sm.resBlocks >= d.cfg.MaxBlocksPerSM || sm.resWarps+d.warpsPerBlock > d.cfg.MaxWarpsPerSM {
+			continue
+		}
+		if best == nil || sm.resWarps < best.resWarps ||
+			(sm.resWarps == best.resWarps && sm.id < best.id) {
+			best = sm
+		}
+	}
+	return best
+}
+
+// blockDone releases a finished block's SM slot and dispatches more work.
+func (d *Device) blockDone(bs *blockState) {
+	sm := d.sms[bs.sm]
+	sm.resBlocks--
+	sm.resWarps -= d.warpsPerBlock
+	delete(d.blocks, bs.id)
+	d.fillSMs()
+}

@@ -1,0 +1,250 @@
+package gpu
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/core"
+	"scord/internal/mem"
+)
+
+// TestITSDivergedWarpRace drives the Section VI Independent Thread
+// Scheduling extension end to end: two lanes of one diverged warp touch
+// common data without synchronization.
+func TestITSDivergedWarpRace(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	cfg.Detector.ITS = true
+	d := newDev(t, cfg)
+	x := d.Alloc("shared", 1)
+	err := d.Launch("its", 1, 32, func(c *Ctx) {
+		c.AtLane(3).Site("its.lane3").Store(x, 1)
+		c.AtLane(9).Site("its.lane9").Store(x, 2)
+		c.Converge()
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	found := false
+	for _, r := range d.Races() {
+		if r.Kind == core.RaceDivergedWarp {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diverged-warp race not detected: %v", d.Races())
+	}
+}
+
+// TestITSOffTreatsWarpAsUnit confirms the same program is race-free
+// without the extension (intra-warp accesses are program order).
+func TestITSOffTreatsWarpAsUnit(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	d := newDev(t, cfg)
+	x := d.Alloc("shared", 1)
+	err := d.Launch("its-off", 1, 32, func(c *Ctx) {
+		c.AtLane(3).Store(x, 1)
+		c.AtLane(9).Store(x, 2)
+		c.Converge()
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if n := len(d.Races()); n != 0 {
+		t.Fatalf("%d races with ITS off", n)
+	}
+}
+
+// TestAcquireReleaseSynchronize drives the explicit acquire/release
+// extension: release publishes, acquire consumes, no race.
+func TestAcquireReleaseSynchronize(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	cfg.Detector.AcqRel = true
+	d := newDev(t, cfg)
+	data := d.Alloc("data", 1)
+	sync := d.Alloc("sync", 1)
+	err := d.Launch("acqrel", 2, 32, func(c *Ctx) {
+		if c.Block == 0 {
+			c.StoreV(data, 99)
+			c.Release(sync, 1, ScopeDevice)
+		} else {
+			for c.Acquire(sync, ScopeDevice) != 1 {
+				c.Work(25)
+			}
+			if v := c.LoadV(data); v != 99 {
+				panic("stale data after acquire")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for _, r := range d.Races() {
+		t.Errorf("false positive: %s", d.DescribeRecord(r))
+	}
+}
+
+// TestReleaseWithoutFenceWouldRace is the contrast case: the same
+// handshake with a bare volatile store instead of a release races.
+func TestReleaseWithoutFenceWouldRace(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	cfg.Detector.AcqRel = true
+	d := newDev(t, cfg)
+	data := d.Alloc("data", 1)
+	sync := d.Alloc("sync", 1)
+	err := d.Launch("norel", 2, 32, func(c *Ctx) {
+		if c.Block == 0 {
+			c.StoreV(data, 99)
+			c.AtomicExch(sync, 1, ScopeDevice) // no release ordering
+		} else {
+			for c.Acquire(sync, ScopeDevice) != 1 {
+				c.Work(25)
+			}
+			c.LoadV(data)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if len(d.Races()) == 0 {
+		t.Fatal("unordered publish not flagged")
+	}
+}
+
+// TestWeakStoreStaysSMLocal pins the HRF visibility model: a weak store is
+// invisible to other SMs until a device fence.
+func TestWeakStoreStaysSMLocal(t *testing.T) {
+	d := newDev(t, config.Default())
+	data := d.Alloc("data", 1)
+	seen := d.Alloc("seen", 1)
+	flag := d.Alloc("flag", 1)
+	err := d.Launch("stale", 2, 32, func(c *Ctx) {
+		if c.Block == 0 {
+			c.Store(data, 7) // weak: lands in SM 0's L1 only
+			c.AtomicExch(flag, 1, ScopeDevice)
+			// Hold the L1 line hostage until the reader is done.
+			for c.AtomicAdd(flag, 0, ScopeDevice) != 2 {
+				c.Work(30)
+			}
+		} else {
+			for c.AtomicAdd(flag, 0, ScopeDevice) != 1 {
+				c.Work(30)
+			}
+			c.StoreV(seen, c.LoadV(data))
+			c.AtomicExch(flag, 2, ScopeDevice)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if got := d.Mem().Read(seen); got != 0 {
+		t.Fatalf("reader saw weak store (%d) without a device fence", got)
+	}
+	// After kernel end, the dirty line flushed.
+	if got := d.Mem().Read(data); got != 7 {
+		t.Fatalf("kernel-end flush lost the store: %d", got)
+	}
+}
+
+// TestDeviceFencePublishesWeakStores is the positive counterpart.
+func TestDeviceFencePublishesWeakStores(t *testing.T) {
+	d := newDev(t, config.Default())
+	data := d.Alloc("data", 1)
+	seen := d.Alloc("seen", 1)
+	flag := d.Alloc("flag", 1)
+	err := d.Launch("fresh", 2, 32, func(c *Ctx) {
+		if c.Block == 0 {
+			c.Store(data, 7)
+			c.Fence(ScopeDevice)
+			c.AtomicExch(flag, 1, ScopeDevice)
+		} else {
+			for c.AtomicAdd(flag, 0, ScopeDevice) != 1 {
+				c.Work(30)
+			}
+			c.StoreV(seen, c.LoadV(data))
+		}
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if got := d.Mem().Read(seen); got != 7 {
+		t.Fatalf("reader saw %d after device fence, want 7", got)
+	}
+}
+
+// TestBlockDispatchRespectsLimits launches more blocks than fit at once.
+func TestBlockDispatchRespectsLimits(t *testing.T) {
+	cfg := config.Default()
+	d := newDev(t, cfg)
+	ctr := d.Alloc("ctr", 1)
+	blocks := cfg.NumSMs*cfg.MaxBlocksPerSM + 37 // forces queued dispatch
+	err := d.Launch("many", blocks, 32, func(c *Ctx) {
+		c.AtomicAdd(ctr, 1, ScopeDevice)
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if got := d.Mem().Read(ctr); got != uint32(blocks) {
+		t.Fatalf("ran %d blocks, want %d", got, blocks)
+	}
+}
+
+// TestLaunchValidation rejects bad geometry.
+func TestLaunchValidation(t *testing.T) {
+	d := newDev(t, config.Default())
+	if err := d.Launch("bad", 0, 32, func(*Ctx) {}); err == nil {
+		t.Error("0 blocks accepted")
+	}
+	if err := d.Launch("bad", 1, 33, func(*Ctx) {}); err == nil {
+		t.Error("non-multiple-of-warp threads accepted")
+	}
+	if err := d.Launch("bad", 1, 2048, func(*Ctx) {}); err == nil {
+		t.Error("oversized block accepted")
+	}
+}
+
+// TestBarrierEarlyExitReleases covers the CUDA early-return idiom: some
+// warps exit before the others' barrier.
+func TestBarrierEarlyExitReleases(t *testing.T) {
+	d := newDev(t, config.Default())
+	x := d.Alloc("x", 4)
+	err := d.Launch("early", 1, 128, func(c *Ctx) {
+		if c.Warp >= 2 {
+			return // two warps exit immediately
+		}
+		c.Store(x+mem.Addr(c.Warp*4), 1)
+		c.SyncThreads()
+		c.Load(x + mem.Addr((1-c.Warp)*4))
+	})
+	if err != nil {
+		t.Fatalf("early-exit barrier deadlocked: %v", err)
+	}
+}
+
+// TestStatsAccumulate sanity-checks the counter plumbing the figures rely
+// on.
+func TestStatsAccumulate(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeCached)
+	d := newDev(t, cfg)
+	x := d.Alloc("x", 4096)
+	err := d.Launch("stats", 4, 64, func(c *Ctx) {
+		base := x + mem.Addr(c.GlobalWarp()*512*4)
+		for off := 0; off < 512; off += 32 {
+			c.LoadVec(c.Seq(base+mem.Addr(off*4), 32), false)
+		}
+		c.Fence(ScopeDevice)
+		c.SyncThreads()
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	st := d.Stats()
+	if st.L1Accesses == 0 || st.L2DataAccesses == 0 || st.DRAMDataAccesses == 0 {
+		t.Fatalf("data-path counters empty: %+v", st)
+	}
+	if st.DetectorChecks == 0 || st.L2MetaAccesses == 0 {
+		t.Fatalf("detector counters empty: %+v", st)
+	}
+	if st.Fences != 8 || st.Barriers != 8 {
+		t.Fatalf("fences=%d barriers=%d, want 8 each", st.Fences, st.Barriers)
+	}
+}

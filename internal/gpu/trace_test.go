@@ -1,0 +1,74 @@
+package gpu
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/trace"
+)
+
+// TestTracerRecordsExecution drives a kernel with a tracer attached and
+// checks every event class shows up in order.
+func TestTracerRecordsExecution(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	d := newDev(t, cfg)
+	tr := trace.New(4096)
+	d.AttachTracer(tr)
+
+	x := d.Alloc("x", 64)
+	err := d.Launch("traced", 2, 64, func(c *Ctx) {
+		c.Site("tr.store").Store(x, uint32(c.GlobalWarp()))
+		c.Fence(ScopeDevice)
+		c.SyncThreads()
+		c.AtomicAdd(x, 1, ScopeBlock) // cross-block scoped race
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[trace.Kind]int{}
+	var lastCycle uint64
+	for _, e := range tr.Events() {
+		kinds[e.Kind]++
+		if e.Cycle < lastCycle {
+			t.Fatalf("trace not chronological: %d after %d", e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+	}
+	for _, k := range []trace.Kind{trace.EvKernel, trace.EvStore, trace.EvAtomic, trace.EvFence, trace.EvBarrier, trace.EvRace} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events traced (%v)", k, kinds)
+		}
+	}
+	if kinds[trace.EvKernel] != 1 || kinds[trace.EvBarrier] != 2 {
+		t.Errorf("kernel=%d barrier=%d, want 1 and 2", kinds[trace.EvKernel], kinds[trace.EvBarrier])
+	}
+}
+
+// TestKernelLogDeltas: per-launch statistics are deltas, not cumulative.
+func TestKernelLogDeltas(t *testing.T) {
+	d := newDev(t, config.Default())
+	x := d.Alloc("x", 64)
+	for i := 0; i < 2; i++ {
+		if err := d.Launch("k", 1, 32, func(c *Ctx) {
+			c.LoadVec(c.Seq(x, 32), false)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := d.KernelLog()
+	if len(log) != 2 {
+		t.Fatalf("kernel log has %d entries", len(log))
+	}
+	for i, k := range log {
+		if k.Name != "k" || k.Blocks != 1 || k.Threads != 32 {
+			t.Fatalf("entry %d geometry: %+v", i, k)
+		}
+		if k.Stats.MemOps != 1 {
+			t.Fatalf("entry %d memOps = %d, want 1 (delta, not cumulative)", i, k.Stats.MemOps)
+		}
+		if k.Cycles == 0 {
+			t.Fatalf("entry %d has zero cycles", i)
+		}
+	}
+}

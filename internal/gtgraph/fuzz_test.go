@@ -1,0 +1,33 @@
+package gtgraph
+
+import "testing"
+
+// FuzzRMAT generates graphs from arbitrary parameters and checks the CSR
+// invariants hold for all of them.
+func FuzzRMAT(f *testing.F) {
+	f.Add(16, 24, int64(1))
+	f.Add(100, 300, int64(-7))
+	f.Add(2, 1, int64(42))
+	f.Fuzz(func(t *testing.T, v, e int, seed int64) {
+		v = v%512 + 2
+		maxE := v * (v - 1) / 2
+		e = e % (maxE/2 + 1)
+		if e < 1 {
+			e = 1
+		}
+		g := RMAT(v, e, seed)
+		if g.Edges() != e {
+			t.Fatalf("edges = %d, want %d", g.Edges(), e)
+		}
+		if int(g.RowPtr[g.V]) != len(g.Col) {
+			t.Fatal("CSR does not close")
+		}
+		for u := 0; u < g.V; u++ {
+			for _, w := range g.Neighbors(u) {
+				if w < 0 || int(w) >= v || int(w) == u {
+					t.Fatalf("bad neighbor %d of %d", w, u)
+				}
+			}
+		}
+	})
+}

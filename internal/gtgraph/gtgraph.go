@@ -1,0 +1,147 @@
+// Package gtgraph generates synthetic graphs with the R-MAT algorithm
+// (Chakrabarti, Zhan, Faloutsos, SDM 2004) — the same model the GTgraph
+// suite implements, which the paper uses to drive the Graph Coloring and
+// Graph Connectivity benchmarks. Generation is fully determined by the
+// seed.
+package gtgraph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected graph in CSR (compressed sparse row) form.
+type Graph struct {
+	V      int
+	RowPtr []int32 // len V+1
+	Col    []int32 // len 2*E (each undirected edge stored both ways)
+}
+
+// Degree returns vertex v's degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.RowPtr[v+1] - g.RowPtr[v])
+}
+
+// Neighbors returns vertex v's adjacency slice (aliases internal storage).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int { return len(g.Col) / 2 }
+
+// RMAT generates an R-MAT graph with v vertices (rounded up to a power of
+// two internally for quadrant recursion, then mapped back) and e undirected
+// edges, using the canonical skew parameters a=0.45 b=0.15 c=0.15 d=0.25.
+// Self loops and duplicate edges are rejected and retried, so the result
+// has exactly e distinct undirected edges (assuming e is well below the
+// maximum possible).
+func RMAT(v, e int, seed int64) *Graph {
+	if v < 2 || e < 1 {
+		panic("gtgraph: need at least 2 vertices and 1 edge")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	levels := 0
+	for 1<<levels < v {
+		levels++
+	}
+	const a, b, c = 0.45, 0.15, 0.15
+
+	type edge struct{ u, w int32 }
+	seen := make(map[[2]int32]bool, e)
+	edges := make([]edge, 0, e)
+	for len(edges) < e {
+		u, w := 0, 0
+		for l := 0; l < levels; l++ {
+			p := rng.Float64()
+			switch {
+			case p < a:
+				// top-left: no bit set
+			case p < a+b:
+				w |= 1 << l
+			case p < a+b+c:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				w |= 1 << l
+			}
+		}
+		u %= v
+		w %= v
+		if u == w {
+			continue
+		}
+		if u > w {
+			u, w = w, u
+		}
+		k := [2]int32{int32(u), int32(w)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		edges = append(edges, edge{int32(u), int32(w)})
+	}
+
+	deg := make([]int32, v+1)
+	for _, ed := range edges {
+		deg[ed.u+1]++
+		deg[ed.w+1]++
+	}
+	row := make([]int32, v+1)
+	for i := 0; i < v; i++ {
+		row[i+1] = row[i] + deg[i+1]
+	}
+	col := make([]int32, row[v])
+	cursor := make([]int32, v)
+	copy(cursor, row[:v])
+	for _, ed := range edges {
+		col[cursor[ed.u]] = ed.w
+		cursor[ed.u]++
+		col[cursor[ed.w]] = ed.u
+		cursor[ed.w]++
+	}
+	g := &Graph{V: v, RowPtr: row, Col: col}
+	for i := 0; i < v; i++ {
+		n := g.Neighbors(i)
+		sort.Slice(n, func(a, b int) bool { return n[a] < n[b] })
+	}
+	return g
+}
+
+// Components labels each vertex with the maximum vertex id reachable from
+// it (a host-side reference for the Graph Connectivity benchmark).
+func Components(g *Graph) []int32 {
+	label := make([]int32, g.V)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int32
+	for s := 0; s < g.V; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		// Collect the component, find its max id, then label it.
+		stack = append(stack[:0], int32(s))
+		comp := []int32{int32(s)}
+		label[s] = int32(s) // temporary visited marker
+		maxID := int32(s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if label[w] < 0 {
+					label[w] = w // visited
+					comp = append(comp, w)
+					stack = append(stack, w)
+					if w > maxID {
+						maxID = w
+					}
+				}
+			}
+		}
+		for _, u := range comp {
+			label[u] = maxID
+		}
+	}
+	return label
+}

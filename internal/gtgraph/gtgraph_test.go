@@ -1,0 +1,125 @@
+package gtgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATBasicInvariants(t *testing.T) {
+	g := RMAT(1024, 4096, 7)
+	if g.V != 1024 {
+		t.Fatalf("V = %d", g.V)
+	}
+	if g.Edges() != 4096 {
+		t.Fatalf("edges = %d, want 4096", g.Edges())
+	}
+	if int(g.RowPtr[g.V]) != len(g.Col) {
+		t.Fatal("CSR row pointer does not close")
+	}
+	// Degrees sum to twice the edges.
+	sum := 0
+	for v := 0; v < g.V; v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.Edges() {
+		t.Fatalf("degree sum %d != 2E %d", sum, 2*g.Edges())
+	}
+}
+
+func TestRMATNoSelfLoopsOrDuplicates(t *testing.T) {
+	g := RMAT(256, 1024, 3)
+	for v := 0; v < g.V; v++ {
+		ns := g.Neighbors(v)
+		for i, n := range ns {
+			if int(n) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if i > 0 && ns[i-1] == n {
+				t.Fatalf("duplicate edge %d-%d", v, n)
+			}
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(512, 2048, 42)
+	b := RMAT(512, 2048, 42)
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := RMAT(512, 2048, 43)
+	same := true
+	for i := range a.Col {
+		if i < len(c.Col) && a.Col[i] != c.Col[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// R-MAT graphs are skewed: the max degree should far exceed the mean.
+	g := RMAT(4096, 16384, 1)
+	maxDeg := 0
+	for v := 0; v < g.V; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := 2 * g.Edges() / g.V
+	if maxDeg < 4*mean {
+		t.Fatalf("max degree %d not skewed vs mean %d", maxDeg, mean)
+	}
+}
+
+func TestComponentsLabelInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RMAT(128, 200, seed)
+		labels := Components(g)
+		for v := 0; v < g.V; v++ {
+			// Every vertex shares its label with all neighbours...
+			for _, w := range g.Neighbors(v) {
+				if labels[v] != labels[w] {
+					return false
+				}
+			}
+			// ...and the label is at least its own id (max-id labelling).
+			if labels[v] < int32(v) {
+				return false
+			}
+		}
+		// Each label names a vertex inside its own component.
+		for v := 0; v < g.V; v++ {
+			if labels[labels[v]] != labels[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	g := RMAT(256, 512, 9)
+	for v := 0; v < g.V; v++ {
+		for _, w := range g.Neighbors(v) {
+			found := false
+			for _, x := range g.Neighbors(int(w)) {
+				if int(x) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", v, w)
+			}
+		}
+	}
+}

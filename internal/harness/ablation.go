@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/scor"
+)
+
+// Ablations quantify ScoRD's design choices beyond the paper's headline
+// experiments: the 16:1 software-cache ratio, the detector inbox size, and
+// the detector service rate. Each sweep varies one parameter around the
+// default and reports the consequences the design section argues about.
+
+// CacheRatioRow is one point of the metadata-cache-ratio sweep.
+type CacheRatioRow struct {
+	Ratio       int
+	OverheadPct float64 // metadata memory overhead
+	Slowdown    float64 // geomean slowdown vs no detection
+	Caught      int     // of the suite's injected races
+	Present     int
+	Evictions   uint64 // software-cache tag-mismatch overwrites
+}
+
+// AblationCacheRatio sweeps the words-per-entry ratio of the software
+// metadata cache. Smaller ratios approach the base design (more memory,
+// fewer aliasing misses); larger ratios shrink memory further at growing
+// risk of silent false negatives.
+type AblationCacheRatio struct {
+	Rows []CacheRatioRow
+}
+
+// RunAblationCacheRatio measures detection completeness and performance at
+// ratios 4, 8, 16 (default), 32 and 64.
+func RunAblationCacheRatio(opt Options) (*AblationCacheRatio, error) {
+	cfg := opt.cfg()
+	out := &AblationCacheRatio{}
+	for _, ratio := range []int{4, 8, 16, 32, 64} {
+		row := CacheRatioRow{Ratio: ratio, OverheadPct: 200.0 / float64(ratio)}
+
+		// Detection completeness across the whole suite with injections.
+		for _, b := range scor.Apps() {
+			c := cfg.WithDetector(config.ModeCached)
+			c.Detector.MetaCacheRatio = ratio
+			d, err := gpu.New(c)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Run(d, b.Injections()); err != nil {
+				return nil, fmt.Errorf("%s at ratio %d: %w", b.Name(), ratio, err)
+			}
+			res := scor.MatchRaces(d, b.ExpectedRaces(b.Injections()))
+			row.Present += res.Expected
+			row.Caught += len(res.Caught)
+			row.Evictions += d.Stats().MetaCacheEvicts
+		}
+
+		// Performance on the correctly synchronized suite.
+		prod := 1.0
+		n := 0
+		for _, b := range scor.Apps() {
+			var cyc [2]uint64
+			for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				c := cfg.WithDetector(mode)
+				c.Detector.MetaCacheRatio = ratio
+				d, err := gpu.New(c)
+				if err != nil {
+					return nil, err
+				}
+				if err := b.Run(d, nil); err != nil {
+					return nil, err
+				}
+				cyc[i] = d.Stats().Cycles
+			}
+			prod *= float64(cyc[1]) / float64(cyc[0])
+			n++
+		}
+		row.Slowdown = pow(prod, 1/float64(n))
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (a *AblationCacheRatio) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: software metadata cache ratio (paper default 16:1)\n")
+	fmt.Fprintf(&b, "%6s %10s %10s %12s %12s\n", "ratio", "mem-ovhd", "slowdown", "races", "evictions")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%6d %9.1f%% %10.3f %9d/%-2d %12d\n",
+			r.Ratio, r.OverheadPct, r.Slowdown, r.Caught, r.Present, r.Evictions)
+	}
+	return b.String()
+}
+
+// InboxRow is one point of the detector-inbox sweep.
+type InboxRow struct {
+	Inbox    int
+	Slowdown float64
+	Stalls   uint64
+}
+
+// AblationInbox sweeps the detector inbox (the buffer that decouples L1
+// hits from detection; Section IV argues it hides most L1-hit latency).
+type AblationInbox struct {
+	Rows []InboxRow
+}
+
+// RunAblationInbox measures slowdown and L1-hit stalls for inbox sizes
+// 1, 4, 12 (default) and 64.
+func RunAblationInbox(opt Options) (*AblationInbox, error) {
+	cfg := opt.cfg()
+	out := &AblationInbox{}
+	for _, inbox := range []int{1, 4, 12, 64} {
+		prod := 1.0
+		var stalls uint64
+		n := 0
+		for _, b := range scor.Apps() {
+			var cyc [2]uint64
+			for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				c := cfg.WithDetector(mode)
+				c.Detector.InboxSize = inbox
+				d, err := gpu.New(c)
+				if err != nil {
+					return nil, err
+				}
+				if err := b.Run(d, nil); err != nil {
+					return nil, err
+				}
+				cyc[i] = d.Stats().Cycles
+				if mode == config.ModeCached {
+					stalls += d.Stats().DetectorStalls
+				}
+			}
+			prod *= float64(cyc[1]) / float64(cyc[0])
+			n++
+		}
+		out.Rows = append(out.Rows, InboxRow{Inbox: inbox, Slowdown: pow(prod, 1/float64(n)), Stalls: stalls})
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (a *AblationInbox) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: detector inbox size (L1-hit decoupling buffer)\n")
+	fmt.Fprintf(&b, "%6s %10s %12s\n", "inbox", "slowdown", "stall-cycles")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%6d %10.3f %12d\n", r.Inbox, r.Slowdown, r.Stalls)
+	}
+	return b.String()
+}
+
+// RateRow is one point of the detector service-rate sweep.
+type RateRow struct {
+	Rate     int
+	Slowdown float64
+}
+
+// AblationRate sweeps the detector's aggregate checks-per-cycle (the
+// degree of replication across L2 slices).
+type AblationRate struct {
+	Rows []RateRow
+}
+
+// RunAblationRate measures slowdown at service rates 1, 2, 4 (default), 8
+// and 16 checks per cycle.
+func RunAblationRate(opt Options) (*AblationRate, error) {
+	cfg := opt.cfg()
+	out := &AblationRate{}
+	for _, rate := range []int{1, 2, 4, 8, 16} {
+		prod := 1.0
+		n := 0
+		for _, b := range scor.Apps() {
+			var cyc [2]uint64
+			for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				c := cfg.WithDetector(mode)
+				c.Detector.ChecksPerCycle = rate
+				d, err := gpu.New(c)
+				if err != nil {
+					return nil, err
+				}
+				if err := b.Run(d, nil); err != nil {
+					return nil, err
+				}
+				cyc[i] = d.Stats().Cycles
+			}
+			prod *= float64(cyc[1]) / float64(cyc[0])
+			n++
+		}
+		out.Rows = append(out.Rows, RateRow{Rate: rate, Slowdown: pow(prod, 1/float64(n))})
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (a *AblationRate) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: detector service rate (checks per cycle)\n")
+	fmt.Fprintf(&b, "%6s %10s\n", "rate", "slowdown")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%6d %10.3f\n", r.Rate, r.Slowdown)
+	}
+	return b.String()
+}
+
+func pow(x, p float64) float64 { return math.Pow(x, p) }

@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+// TestAblationCacheRatioShape validates the design-choice story behind the
+// paper's 16:1 default: detection stays complete through 16:1, memory
+// overhead halves per step, evictions grow with the ratio, and folding is
+// a performance win (coarser is never slower than 4:1).
+func TestAblationCacheRatioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	a, err := RunAblationCacheRatio(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 5 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	for i, r := range a.Rows {
+		if want := 200.0 / float64(r.Ratio); r.OverheadPct != want {
+			t.Errorf("ratio %d: overhead %.2f%%, want %.2f%%", r.Ratio, r.OverheadPct, want)
+		}
+		if r.Ratio <= 16 && r.Caught != r.Present {
+			t.Errorf("ratio %d: caught %d of %d", r.Ratio, r.Caught, r.Present)
+		}
+		if i > 0 && r.Evictions < a.Rows[i-1].Evictions {
+			t.Errorf("evictions not monotone: ratio %d has %d < %d", r.Ratio, r.Evictions, a.Rows[i-1].Evictions)
+		}
+	}
+	if a.Rows[2].Slowdown > a.Rows[0].Slowdown {
+		t.Errorf("16:1 (%.3f) slower than 4:1 (%.3f): folding should help", a.Rows[2].Slowdown, a.Rows[0].Slowdown)
+	}
+}
+
+// TestAblationRateShape: the service-rate sweep must be monotone — more
+// detector bandwidth never hurts — with a visible knee above rate 1.
+func TestAblationRateShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	a, err := RunAblationRate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(a.Rows); i++ {
+		if a.Rows[i].Slowdown > a.Rows[i-1].Slowdown*1.02 {
+			t.Errorf("rate %d slower (%.3f) than rate %d (%.3f)",
+				a.Rows[i].Rate, a.Rows[i].Slowdown, a.Rows[i-1].Rate, a.Rows[i-1].Slowdown)
+		}
+	}
+	if a.Rows[0].Slowdown < a.Rows[len(a.Rows)-1].Slowdown*1.2 {
+		t.Errorf("no knee: rate-1 %.3f vs rate-16 %.3f", a.Rows[0].Slowdown, a.Rows[len(a.Rows)-1].Slowdown)
+	}
+}

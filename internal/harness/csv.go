@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVer is implemented by every experiment result: rows ready for a
+// plotting tool, header first.
+type CSVer interface {
+	CSV() [][]string
+}
+
+// WriteCSV writes a result's rows in RFC-4180 form.
+func WriteCSV(w io.Writer, c CSVer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(c.CSV()); err != nil {
+		return fmt.Errorf("harness: writing csv: %w", err)
+	}
+	return nil
+}
+
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func i(v int) string      { return strconv.Itoa(v) }
+func u(v uint64) string   { return strconv.FormatUint(v, 10) }
+
+// CSV implements CSVer.
+func (t *Table6) CSV() [][]string {
+	out := [][]string{{"workload", "present", "base", "scord"}}
+	for _, r := range append(t.Rows, t.Total) {
+		out = append(out, []string{r.Workload, i(r.Present), i(r.Base), i(r.ScoRD)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (t *Table7) CSV() [][]string {
+	out := [][]string{{"workload", "fp_4byte", "fp_8byte", "fp_16byte", "fp_scord"}}
+	for _, r := range t.Rows {
+		out = append(out, []string{r.Workload, i(r.FP4B), i(r.FP8B), i(r.FP16B), i(r.ScoRD)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (t *Table8) CSV() [][]string {
+	out := [][]string{{"detector", "fences", "locks", "scoped_fences", "scoped_atomics", "false_positives"}}
+	for _, r := range t.Rows {
+		out = append(out, []string{r.Detector, r.Fences.String(), r.Locks.String(),
+			r.ScopedFences.String(), r.ScopedAtomics.String(), i(r.FalsePositives)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (f *Fig8) CSV() [][]string {
+	out := [][]string{{"app", "base_norm", "scord_norm"}}
+	for _, r := range f.Rows {
+		out = append(out, []string{r.App, f3(r.BaseNorm), f3(r.ScoRDNorm)})
+	}
+	out = append(out, []string{"geomean", f3(f.GeoBase), f3(f.GeoScoRD)})
+	return out
+}
+
+// CSV implements CSVer.
+func (f *Fig9) CSV() [][]string {
+	out := [][]string{{"app", "base_data", "base_meta", "scord_data", "scord_meta"}}
+	for _, r := range f.Rows {
+		out = append(out, []string{r.App, f3(r.BaseData), f3(r.BaseMeta), f3(r.ScoRDData), f3(r.ScoRDMeta)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (f *Fig10) CSV() [][]string {
+	out := [][]string{{"app", "lhd", "noc", "md"}}
+	for _, r := range f.Rows {
+		out = append(out, []string{r.App, f3(r.LHD), f3(r.NOC), f3(r.MD)})
+	}
+	out = append(out, []string{"average", f3(f.AvgLHD), f3(f.AvgNOC), f3(f.AvgMD)})
+	return out
+}
+
+// CSV implements CSVer.
+func (f *Fig11) CSV() [][]string {
+	out := [][]string{{"app", "low", "default", "high"}}
+	for _, r := range f.Rows {
+		out = append(out, []string{r.App, f3(r.Low), f3(r.Default), f3(r.High)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (a *AblationCacheRatio) CSV() [][]string {
+	out := [][]string{{"ratio", "mem_overhead_pct", "slowdown", "caught", "present", "evictions"}}
+	for _, r := range a.Rows {
+		out = append(out, []string{i(r.Ratio), f3(r.OverheadPct), f3(r.Slowdown),
+			i(r.Caught), i(r.Present), u(r.Evictions)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (a *AblationInbox) CSV() [][]string {
+	out := [][]string{{"inbox", "slowdown", "stall_cycles"}}
+	for _, r := range a.Rows {
+		out = append(out, []string{i(r.Inbox), f3(r.Slowdown), u(r.Stalls)})
+	}
+	return out
+}
+
+// CSV implements CSVer.
+func (a *AblationRate) CSV() [][]string {
+	out := [][]string{{"rate", "slowdown"}}
+	for _, r := range a.Rows {
+		out = append(out, []string{i(r.Rate), f3(r.Slowdown)})
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCSVOutputs pins the CSV schema of every experiment result.
+func TestCSVOutputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		c      CSVer
+		header string
+	}{
+		{"table6", &Table6{Rows: []Table6Row{{Workload: "MM", Present: 4, Base: 4, ScoRD: 4}}}, "workload,present,base,scord"},
+		{"table7", &Table7{Rows: []Table7Row{{Workload: "UTS", FP8B: 9}}}, "workload,fp_4byte"},
+		{"table8", &Table8{Rows: []Table8Row{{Detector: "ScoRD"}}}, "detector,fences"},
+		{"fig8", &Fig8{Rows: []Fig8Row{{App: "RED", BaseNorm: 4.2, ScoRDNorm: 1.7}}}, "app,base_norm,scord_norm"},
+		{"fig9", &Fig9{Rows: []Fig9Row{{App: "RED"}}}, "app,base_data"},
+		{"fig10", &Fig10{Rows: []Fig10Row{{App: "UTS", MD: 1}}}, "app,lhd,noc,md"},
+		{"fig11", &Fig11{Rows: []Fig11Row{{App: "1DC", Low: 4.0}}}, "app,low,default,high"},
+		{"abl-ratio", &AblationCacheRatio{Rows: []CacheRatioRow{{Ratio: 16}}}, "ratio,mem_overhead_pct"},
+		{"abl-inbox", &AblationInbox{Rows: []InboxRow{{Inbox: 12}}}, "inbox,slowdown"},
+		{"abl-rate", &AblationRate{Rows: []RateRow{{Rate: 4}}}, "rate,slowdown"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tc.c); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: only %d lines", tc.name, len(lines))
+			continue
+		}
+		if !strings.HasPrefix(lines[0], tc.header) {
+			t.Errorf("%s: header %q, want prefix %q", tc.name, lines[0], tc.header)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package harness
+
+import "testing"
+
+// TestFig9Shape asserts the DRAM-traffic claims: the base design's
+// metadata traffic is on the order of twice its data traffic (8 bytes of
+// metadata per 4 bytes of data), and the software cache never increases
+// metadata traffic.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	f9, err := RunFig9(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f9.Rows {
+		if r.BaseMeta < r.BaseData {
+			t.Errorf("%s: base metadata traffic (%.2f) below data traffic (%.2f)", r.App, r.BaseMeta, r.BaseData)
+		}
+		if r.ScoRDMeta > r.BaseMeta*1.05 {
+			t.Errorf("%s: caching increased metadata DRAM traffic (%.2f > %.2f)", r.App, r.ScoRDMeta, r.BaseMeta)
+		}
+	}
+	// At least the large-footprint apps must fold substantially.
+	folded := 0
+	for _, r := range f9.Rows {
+		if r.ScoRDMeta < r.BaseMeta*0.8 {
+			folded++
+		}
+	}
+	if folded < 3 {
+		t.Errorf("only %d apps benefit from metadata caching, want >= 3", folded)
+	}
+}
+
+// TestFig10Shape asserts the attribution claims: shares are a partition
+// (sum to ~1 where overhead exists), and UTS — all-volatile stacks — has
+// exactly zero LHD, the paper's own sanity check.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	f10, err := RunFig10(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f10.Rows {
+		sum := r.LHD + r.NOC + r.MD
+		if sum != 0 && (sum < 0.99 || sum > 1.01) {
+			t.Errorf("%s: shares sum to %.3f", r.App, sum)
+		}
+		if r.App == "UTS" && r.LHD != 0 {
+			t.Errorf("UTS has LHD %.3f; volatile accesses bypass the L1, so it must be 0", r.LHD)
+		}
+	}
+}
+
+// TestFig11Shape asserts the sensitivity claim for the memory-bound
+// applications: ScoRD's overhead shrinks monotonically from the
+// constrained to the generous memory subsystem.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	f11, err := RunFig11(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memBound := map[string]bool{"RED": true, "R110": true, "GCOL": true, "GCON": true, "1DC": true}
+	for _, r := range f11.Rows {
+		if !memBound[r.App] {
+			continue // MM is lock-latency-bound, UTS spin-timing noise
+		}
+		if !(r.Low >= r.Default && r.Default >= r.High) {
+			t.Errorf("%s: not monotone across memory configs: %.3f %.3f %.3f", r.App, r.Low, r.Default, r.High)
+		}
+	}
+}

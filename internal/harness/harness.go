@@ -1,0 +1,458 @@
+// Package harness regenerates every table and figure of the ScoRD paper's
+// evaluation (Section V): Table VI (races caught), Table VII (false
+// positives vs. metadata granularity), Table VIII (detector capability
+// matrix), Figure 8 (performance), Figure 9 (DRAM accesses), Figure 10
+// (overhead attribution), and Figure 11 (memory-subsystem sensitivity).
+//
+// Absolute cycle counts belong to this repository's simulator, not
+// GPGPU-Sim; the quantities of interest are the normalized shapes.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+	"scord/internal/stats"
+)
+
+// Options parameterizes a harness run.
+type Options struct {
+	// Base hardware configuration (detector settings are overridden per
+	// experiment). Defaults to config.Default().
+	Config *config.Config
+}
+
+func (o Options) cfg() config.Config {
+	if o.Config != nil {
+		return *o.Config
+	}
+	return config.Default()
+}
+
+// runApp executes one benchmark under the given detector mode and returns
+// the device (for stats and race records).
+func runApp(cfg config.Config, b scor.Benchmark, mode config.DetectorMode, active []string) (*gpu.Device, error) {
+	d, err := gpu.New(cfg.WithDetector(mode))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Run(d, active); err != nil {
+		return nil, fmt.Errorf("%s [%v/%v]: %w", b.Name(), mode, active, err)
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table VI — races caught by the base design and by ScoRD.
+// ---------------------------------------------------------------------------
+
+// Table6Row is one workload row of Table VI.
+type Table6Row struct {
+	Workload string
+	Present  int // unique races in the configuration
+	Base     int // caught by the base design (full 4B metadata)
+	ScoRD    int // caught by ScoRD (software-cached metadata)
+}
+
+// Table6 is the full experiment result.
+type Table6 struct {
+	Rows  []Table6Row
+	Total Table6Row
+}
+
+// RunTable6 runs every application with all injections active and all 18
+// racey microbenchmarks, under both metadata designs.
+func RunTable6(opt Options) (*Table6, error) {
+	cfg := opt.cfg()
+	out := &Table6{}
+	count := func(b scor.Benchmark, mode config.DetectorMode) (int, int, error) {
+		d, err := runApp(cfg, b, mode, b.Injections())
+		if err != nil {
+			return 0, 0, err
+		}
+		res := scor.MatchRaces(d, b.ExpectedRaces(b.Injections()))
+		return res.Expected, len(res.Caught), nil
+	}
+	for _, b := range scor.Apps() {
+		present, base, err := count(b, config.ModeFull4B)
+		if err != nil {
+			return nil, err
+		}
+		_, cached, err := count(b, config.ModeCached)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table6Row{b.Name(), present, base, cached})
+	}
+	mrow := Table6Row{Workload: "Microbenchmarks"}
+	for _, m := range micro.All() {
+		if !m.Racey() {
+			continue
+		}
+		present, base, err := count(m, config.ModeFull4B)
+		if err != nil {
+			return nil, err
+		}
+		_, cached, err := count(m, config.ModeCached)
+		if err != nil {
+			return nil, err
+		}
+		mrow.Present += present
+		mrow.Base += base
+		mrow.ScoRD += cached
+	}
+	out.Rows = append(out.Rows, mrow)
+	for _, r := range out.Rows {
+		out.Total.Present += r.Present
+		out.Total.Base += r.Base
+		out.Total.ScoRD += r.ScoRD
+	}
+	out.Total.Workload = "Total"
+	return out, nil
+}
+
+// Render formats the table like the paper's Table VI.
+func (t *Table6) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI: number of races caught by different configurations\n")
+	fmt.Fprintf(&b, "%-16s %8s %18s %8s\n", "Workload", "Present", "Base (no caching)", "ScoRD")
+	for _, r := range append(t.Rows, t.Total) {
+		fmt.Fprintf(&b, "%-16s %8d %18d %8d\n", r.Workload, r.Present, r.Base, r.ScoRD)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table VII — false positives vs. metadata tracking granularity.
+// ---------------------------------------------------------------------------
+
+// Table7Row is one workload row of Table VII.
+type Table7Row struct {
+	Workload                 string
+	FP4B, FP8B, FP16B, ScoRD int
+}
+
+// Table7 is the full experiment result.
+type Table7 struct {
+	Rows []Table7Row
+}
+
+// RunTable7 runs every application correctly synchronized under each
+// tracking granularity and counts distinct false-positive reports.
+func RunTable7(opt Options) (*Table7, error) {
+	cfg := opt.cfg()
+	modes := []config.DetectorMode{
+		config.ModeFull4B, config.ModeGran8B, config.ModeGran16B, config.ModeCached,
+	}
+	out := &Table7{}
+	for _, b := range scor.Apps() {
+		row := Table7Row{Workload: b.Name()}
+		for i, mode := range modes {
+			d, err := runApp(cfg, b, mode, nil)
+			if err != nil {
+				return nil, err
+			}
+			// Count false reports (occurrences): the number of times the
+			// detector would have interrupted a clean program. Coarser
+			// granularity aliases more accesses into shared entries, so
+			// this grows with granularity as in the paper.
+			fp := 0
+			for _, r := range scor.MatchRaces(d, nil).FalsePos {
+				fp += r.Count
+			}
+			switch i {
+			case 0:
+				row.FP4B = fp
+			case 1:
+				row.FP8B = fp
+			case 2:
+				row.FP16B = fp
+			case 3:
+				row.ScoRD = fp
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the table like the paper's Table VII.
+func (t *Table7) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VII: false positives with varying metadata granularity\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s\n", "Workload", "4-byte", "8-byte", "16-byte", "ScoRD")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s\n", "overhead", "200%", "100%", "50%", "12.5%")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %8d %8d %8d %8d\n", r.Workload, r.FP4B, r.FP8B, r.FP16B, r.ScoRD)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — execution cycles normalized to no race detection.
+// ---------------------------------------------------------------------------
+
+// Fig8Row is one application's pair of bars.
+type Fig8Row struct {
+	App       string
+	BaseNorm  float64 // base design (no metadata caching)
+	ScoRDNorm float64 // ScoRD
+}
+
+// Fig8 is the full experiment result.
+type Fig8 struct {
+	Rows     []Fig8Row
+	GeoBase  float64
+	GeoScoRD float64
+}
+
+// RunFig8 measures execution cycles for every application under no
+// detection, the base design, and ScoRD.
+func RunFig8(opt Options) (*Fig8, error) {
+	cfg := opt.cfg()
+	out := &Fig8{GeoBase: 1, GeoScoRD: 1}
+	for _, b := range scor.Apps() {
+		var cyc [3]uint64
+		for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeFull4B, config.ModeCached} {
+			d, err := runApp(cfg, b, mode, nil)
+			if err != nil {
+				return nil, err
+			}
+			cyc[i] = d.Stats().Cycles
+		}
+		r := Fig8Row{
+			App:       b.Name(),
+			BaseNorm:  float64(cyc[1]) / float64(cyc[0]),
+			ScoRDNorm: float64(cyc[2]) / float64(cyc[0]),
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	for _, r := range out.Rows {
+		out.GeoBase *= r.BaseNorm
+		out.GeoScoRD *= r.ScoRDNorm
+	}
+	n := float64(len(out.Rows))
+	out.GeoBase = math.Pow(out.GeoBase, 1/n)
+	out.GeoScoRD = math.Pow(out.GeoScoRD, 1/n)
+	return out, nil
+}
+
+// Render formats the series behind Figure 8.
+func (f *Fig8) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: execution cycles normalized to no race detection\n")
+	fmt.Fprintf(&b, "%-10s %14s %10s\n", "App", "Base(no-cache)", "ScoRD")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %14.3f %10.3f\n", r.App, r.BaseNorm, r.ScoRDNorm)
+	}
+	fmt.Fprintf(&b, "%-10s %14.3f %10.3f\n", "geomean", f.GeoBase, f.GeoScoRD)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — DRAM accesses normalized, split metadata vs. data.
+// ---------------------------------------------------------------------------
+
+// Fig9Row is one application's pair of stacked bars.
+type Fig9Row struct {
+	App                  string
+	BaseData, BaseMeta   float64 // base design, normalized to no-detection total
+	ScoRDData, ScoRDMeta float64 // ScoRD, normalized likewise
+}
+
+// Fig9 is the full experiment result.
+type Fig9 struct {
+	Rows []Fig9Row
+}
+
+// RunFig9 measures DRAM transactions under each design.
+func RunFig9(opt Options) (*Fig9, error) {
+	cfg := opt.cfg()
+	out := &Fig9{}
+	for _, b := range scor.Apps() {
+		var st [3]*stats.Stats
+		for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeFull4B, config.ModeCached} {
+			d, err := runApp(cfg, b, mode, nil)
+			if err != nil {
+				return nil, err
+			}
+			st[i] = d.Stats()
+		}
+		norm := float64(st[0].DRAMAccesses())
+		out.Rows = append(out.Rows, Fig9Row{
+			App:       b.Name(),
+			BaseData:  float64(st[1].DRAMDataAccesses) / norm,
+			BaseMeta:  float64(st[1].DRAMMetaAccesses) / norm,
+			ScoRDData: float64(st[2].DRAMDataAccesses) / norm,
+			ScoRDMeta: float64(st[2].DRAMMetaAccesses) / norm,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the series behind Figure 9.
+func (f *Fig9) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: DRAM accesses normalized to no race detection (data+metadata)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s | %10s %10s %10s\n",
+		"App", "base.data", "base.meta", "base.tot", "scord.data", "scord.meta", "scord.tot")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %10.3f %10.3f %10.3f | %10.3f %10.3f %10.3f\n",
+			r.App, r.BaseData, r.BaseMeta, r.BaseData+r.BaseMeta,
+			r.ScoRDData, r.ScoRDMeta, r.ScoRDData+r.ScoRDMeta)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — overhead attribution: LHD vs NOC vs MD.
+// ---------------------------------------------------------------------------
+
+// Fig10Row is one application's attribution shares (they sum to 1 when any
+// overhead exists).
+type Fig10Row struct {
+	App          string
+	LHD, NOC, MD float64
+}
+
+// Fig10 is the full experiment result.
+type Fig10 struct {
+	Rows                  []Fig10Row
+	AvgLHD, AvgNOC, AvgMD float64
+}
+
+// RunFig10 disables each timing source in turn and attributes ScoRD's
+// overhead to the three mechanisms by the uplift each removal produces.
+func RunFig10(opt Options) (*Fig10, error) {
+	cfg := opt.cfg()
+	out := &Fig10{}
+	for _, b := range scor.Apps() {
+		run := func(mut func(*config.Detector)) (uint64, error) {
+			c := cfg.WithDetector(config.ModeCached)
+			if mut != nil {
+				mut(&c.Detector)
+			}
+			d, err := gpu.New(c)
+			if err != nil {
+				return 0, err
+			}
+			if err := b.Run(d, nil); err != nil {
+				return 0, err
+			}
+			return d.Stats().Cycles, nil
+		}
+		full, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		noLHD, err := run(func(dc *config.Detector) { dc.DisableLHDTiming = true })
+		if err != nil {
+			return nil, err
+		}
+		noNOC, err := run(func(dc *config.Detector) { dc.DisableNOCTiming = true })
+		if err != nil {
+			return nil, err
+		}
+		noMD, err := run(func(dc *config.Detector) { dc.DisableMDTiming = true })
+		if err != nil {
+			return nil, err
+		}
+		up := func(t uint64) float64 {
+			if full > t {
+				return float64(full - t)
+			}
+			return 0
+		}
+		l, n, m := up(noLHD), up(noNOC), up(noMD)
+		sum := l + n + m
+		row := Fig10Row{App: b.Name()}
+		if sum > 0 {
+			row.LHD, row.NOC, row.MD = l/sum, n/sum, m/sum
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, r := range out.Rows {
+		out.AvgLHD += r.LHD
+		out.AvgNOC += r.NOC
+		out.AvgMD += r.MD
+	}
+	n := float64(len(out.Rows))
+	out.AvgLHD /= n
+	out.AvgNOC /= n
+	out.AvgMD /= n
+	return out, nil
+}
+
+// Render formats the series behind Figure 10.
+func (f *Fig10) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: relative contribution of overhead sources (share of total)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "App", "LHD", "NOC", "MD")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %7.1f%% %7.1f%% %7.1f%%\n", r.App, 100*r.LHD, 100*r.NOC, 100*r.MD)
+	}
+	fmt.Fprintf(&b, "%-10s %7.1f%% %7.1f%% %7.1f%%\n", "average", 100*f.AvgLHD, 100*f.AvgNOC, 100*f.AvgMD)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — sensitivity to L2 capacity and DRAM bandwidth.
+// ---------------------------------------------------------------------------
+
+// Fig11Row is one application's three bars (ScoRD cycles normalized to no
+// detection under the same memory configuration).
+type Fig11Row struct {
+	App                string
+	Low, Default, High float64
+}
+
+// Fig11 is the full experiment result.
+type Fig11 struct {
+	Rows []Fig11Row
+}
+
+// RunFig11 sweeps the three memory-subsystem presets.
+func RunFig11(opt Options) (*Fig11, error) {
+	presets := []config.Config{config.LowMemory(), opt.cfg(), config.HighMemory()}
+	out := &Fig11{}
+	for _, b := range scor.Apps() {
+		row := Fig11Row{App: b.Name()}
+		for i, preset := range presets {
+			var cyc [2]uint64
+			for j, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				d, err := runApp(preset, b, mode, nil)
+				if err != nil {
+					return nil, err
+				}
+				cyc[j] = d.Stats().Cycles
+			}
+			norm := float64(cyc[1]) / float64(cyc[0])
+			switch i {
+			case 0:
+				row.Low = norm
+			case 1:
+				row.Default = norm
+			case 2:
+				row.High = norm
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the series behind Figure 11.
+func (f *Fig11) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: ScoRD slowdown vs memory resources (normalized per config)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "App", "low", "default", "high")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %8.3f %8.3f %8.3f\n", r.App, r.Low, r.Default, r.High)
+	}
+	return b.String()
+}

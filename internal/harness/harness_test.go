@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable8Matrix checks the measured capability matrix reproduces the
+// paper's Table VIII orderings: ScoRD catches everything with no false
+// positives; the scope-blind models miss exactly the scoped classes.
+func TestTable8Matrix(t *testing.T) {
+	t8, err := RunTable8(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Table8Row{}
+	for _, r := range t8.Rows {
+		rows[r.Detector] = r
+	}
+
+	scord := rows["ScoRD"]
+	if scord.Fences.Caught != scord.Fences.Present ||
+		scord.Locks.Caught != scord.Locks.Present ||
+		scord.ScopedFences.Caught != scord.ScopedFences.Present ||
+		scord.ScopedAtomics.Caught != scord.ScopedAtomics.Present {
+		t.Errorf("ScoRD row incomplete: %+v", scord)
+	}
+	if scord.FalsePositives != 0 {
+		t.Errorf("ScoRD has %d false positives", scord.FalsePositives)
+	}
+
+	if h := rows["HAccRG"]; h.ScopedAtomics.Caught != 0 || h.ScopedFences.Caught != 0 {
+		t.Errorf("HAccRG should be scope-blind: %+v", h)
+	}
+	if b := rows["Barracuda"]; b.ScopedAtomics.Caught != 0 {
+		t.Errorf("Barracuda should miss scoped atomics: %+v", b)
+	}
+	if b := rows["Barracuda"]; b.ScopedFences.Caught != b.ScopedFences.Present {
+		t.Errorf("Barracuda should catch scoped fences: %+v", b)
+	}
+	if l := rows["LDetector"]; l.ScopedAtomics.Caught != 0 || l.FalsePositives == 0 {
+		t.Errorf("LDetector profile wrong (no sync awareness): %+v", l)
+	}
+
+	out := t8.Render()
+	if !strings.Contains(out, "ScoRD") || !strings.Contains(out, "Scoped atomics") {
+		t.Error("Render missing expected content")
+	}
+}
+
+// TestTable6Shape runs the full Table VI experiment and checks the
+// headline: 44 unique races present, the base design catches all of them,
+// and ScoRD catches at least 43 of 44 (the paper's single software-cache
+// aliasing false negative is input-dependent).
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	t6, err := RunTable6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t6.Total.Present != 44 {
+		t.Errorf("races present = %d, want 44 (Table VI)", t6.Total.Present)
+	}
+	if t6.Total.Base != t6.Total.Present {
+		t.Errorf("base design caught %d of %d", t6.Total.Base, t6.Total.Present)
+	}
+	if t6.Total.ScoRD < t6.Total.Present-1 {
+		t.Errorf("ScoRD caught %d of %d (more than one aliasing miss)", t6.Total.ScoRD, t6.Total.Present)
+	}
+}
+
+// TestFig8Shape checks the performance result's shape: ScoRD is never
+// slower than the base (no-caching) design by more than noise, its mean
+// overhead is modest, and the base design pays more.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	f8, err := RunFig8(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f8.GeoScoRD > f8.GeoBase {
+		t.Errorf("ScoRD geomean %.3f worse than base %.3f", f8.GeoScoRD, f8.GeoBase)
+	}
+	if f8.GeoScoRD < 1.0 || f8.GeoScoRD > 2.0 {
+		t.Errorf("ScoRD geomean slowdown %.3f outside the plausible band [1,2]", f8.GeoScoRD)
+	}
+	for _, r := range f8.Rows {
+		if r.ScoRDNorm > r.BaseNorm*1.1 {
+			t.Errorf("%s: ScoRD (%.3f) clearly worse than base (%.3f)", r.App, r.ScoRDNorm, r.BaseNorm)
+		}
+	}
+}
+
+// TestTable7Shape: no false positives at word granularity or with ScoRD;
+// coarser granularity produces them, growing with group size overall.
+func TestTable7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	t7, err := RunTable7(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum8, sum16 int
+	for _, r := range t7.Rows {
+		if r.FP4B != 0 {
+			t.Errorf("%s: %d false positives at 4-byte granularity", r.Workload, r.FP4B)
+		}
+		if r.ScoRD != 0 {
+			t.Errorf("%s: %d false positives with ScoRD", r.Workload, r.ScoRD)
+		}
+		sum8 += r.FP8B
+		sum16 += r.FP16B
+	}
+	if sum8 == 0 || sum16 == 0 {
+		t.Errorf("coarse granularities produced no false positives (8B=%d, 16B=%d)", sum8, sum16)
+	}
+	if sum16 < sum8 {
+		t.Errorf("false positives did not grow with granularity: 8B=%d > 16B=%d", sum8, sum16)
+	}
+}

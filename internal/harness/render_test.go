@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenders pins the table formats on hand-built results so the cheap
+// unit path covers every Render method (the runners themselves are covered
+// by the shape tests).
+func TestRenders(t *testing.T) {
+	t6 := &Table6{
+		Rows:  []Table6Row{{Workload: "MM", Present: 4, Base: 4, ScoRD: 4}},
+		Total: Table6Row{Workload: "Total", Present: 44, Base: 44, ScoRD: 43},
+	}
+	if out := t6.Render(); !strings.Contains(out, "Table VI") ||
+		!strings.Contains(out, "MM") || !strings.Contains(out, "44") {
+		t.Errorf("Table6.Render:\n%s", out)
+	}
+
+	t7 := &Table7{Rows: []Table7Row{{Workload: "GCOL", FP8B: 27, FP16B: 29}}}
+	if out := t7.Render(); !strings.Contains(out, "Table VII") || !strings.Contains(out, "12.5%") {
+		t.Errorf("Table7.Render:\n%s", out)
+	}
+
+	t8 := &Table8{Rows: []Table8Row{{
+		Detector: "ScoRD",
+		Fences:   Capability{4, 4}, Locks: Capability{7, 7},
+		ScopedFences: Capability{2, 2}, ScopedAtomics: Capability{5, 5},
+	}}}
+	if out := t8.Render(); !strings.Contains(out, "ScoRD") || !strings.Contains(out, "yes") {
+		t.Errorf("Table8.Render:\n%s", out)
+	}
+
+	f8 := &Fig8{Rows: []Fig8Row{{App: "RED", BaseNorm: 3.3, ScoRDNorm: 1.5}}, GeoBase: 1.6, GeoScoRD: 1.28}
+	if out := f8.Render(); !strings.Contains(out, "geomean") || !strings.Contains(out, "1.280") {
+		t.Errorf("Fig8.Render:\n%s", out)
+	}
+
+	f9 := &Fig9{Rows: []Fig9Row{{App: "RED", BaseData: 1, BaseMeta: 2, ScoRDData: 1, ScoRDMeta: 0.5}}}
+	if out := f9.Render(); !strings.Contains(out, "3.000") || !strings.Contains(out, "1.500") {
+		t.Errorf("Fig9.Render:\n%s", out)
+	}
+
+	f10 := &Fig10{Rows: []Fig10Row{{App: "UTS", MD: 1}}, AvgMD: 1}
+	if out := f10.Render(); !strings.Contains(out, "100.0%") {
+		t.Errorf("Fig10.Render:\n%s", out)
+	}
+
+	f11 := &Fig11{Rows: []Fig11Row{{App: "1DC", Low: 2.5, Default: 1.7, High: 1.6}}}
+	if out := f11.Render(); !strings.Contains(out, "2.500") {
+		t.Errorf("Fig11.Render:\n%s", out)
+	}
+
+	ar := &AblationCacheRatio{Rows: []CacheRatioRow{{Ratio: 16, OverheadPct: 12.5, Slowdown: 1.28, Caught: 26, Present: 26}}}
+	if out := ar.Render(); !strings.Contains(out, "12.5%") || !strings.Contains(out, "26/26") {
+		t.Errorf("AblationCacheRatio.Render:\n%s", out)
+	}
+
+	ai := &AblationInbox{Rows: []InboxRow{{Inbox: 12, Slowdown: 1.27, Stalls: 99}}}
+	if out := ai.Render(); !strings.Contains(out, "99") {
+		t.Errorf("AblationInbox.Render:\n%s", out)
+	}
+
+	arate := &AblationRate{Rows: []RateRow{{Rate: 4, Slowdown: 1.28}}}
+	if out := arate.Render(); !strings.Contains(out, "1.280") {
+		t.Errorf("AblationRate.Render:\n%s", out)
+	}
+}
+
+// TestCapabilityString pins the Table VIII cell formats.
+func TestCapabilityString(t *testing.T) {
+	cases := []struct {
+		c    Capability
+		want string
+	}{
+		{Capability{0, 0}, "-"},
+		{Capability{4, 4}, "yes"},
+		{Capability{0, 4}, "no"},
+		{Capability{2, 4}, "2/4"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestOptionsDefaultConfig: nil Config falls back to the Table V default.
+func TestOptionsDefaultConfig(t *testing.T) {
+	var o Options
+	if o.cfg().NumSMs != 15 {
+		t.Fatal("default options lost Table V config")
+	}
+}

@@ -1,0 +1,62 @@
+package noc
+
+import (
+	"testing"
+
+	"scord/internal/stats"
+)
+
+func TestPipelineLatency(t *testing.T) {
+	var s stats.Stats
+	n := New(8, 32, 4, 4, &s)
+	arrive := n.ToL2(0, 0, 32, 100, 0)
+	// 1 flit injection + 8 cycles latency + 1 flit ejection.
+	if arrive != 100+1+8+1 {
+		t.Fatalf("arrive = %d, want 110", arrive)
+	}
+}
+
+func TestSerializationOnInjectionPort(t *testing.T) {
+	var s stats.Stats
+	n := New(8, 32, 4, 4, &s)
+	a1 := n.ToL2(0, 0, 128, 0, 0)
+	a2 := n.ToL2(0, 1, 128, 0, 0) // same SM port: must wait for 4 flits
+	if a2 <= a1 {
+		t.Fatalf("packets did not serialize on the SM port: %d then %d", a1, a2)
+	}
+}
+
+func TestIndependentPortsParallel(t *testing.T) {
+	var s stats.Stats
+	n := New(8, 32, 4, 4, &s)
+	a1 := n.ToL2(0, 0, 128, 0, 0)
+	a2 := n.ToL2(1, 1, 128, 0, 0) // different SM and bank: no contention
+	if a1 != a2 {
+		t.Fatalf("independent transfers skewed: %d vs %d", a1, a2)
+	}
+}
+
+func TestExtraBytesCountedAsExtraFlits(t *testing.T) {
+	var s stats.Stats
+	n := New(8, 32, 4, 4, &s)
+	n.ToL2(0, 0, 32, 0, 0)
+	base := s.NOCFlits
+	s.NOCFlits, s.NOCExtraFlits = 0, 0
+	n.ToL2(0, 0, 32, 0, 8) // 40 bytes => 2 flits
+	if s.NOCFlits != base+1 {
+		t.Fatalf("flits with extra payload = %d, want %d", s.NOCFlits, base+1)
+	}
+	if s.NOCExtraFlits != 1 {
+		t.Fatalf("extra flits = %d, want 1", s.NOCExtraFlits)
+	}
+}
+
+func TestResponsePathIndependentOfRequestPath(t *testing.T) {
+	var s stats.Stats
+	n := New(8, 32, 2, 2, &s)
+	n.ToL2(0, 0, 128, 0, 0)
+	resp := n.FromL2(0, 0, 128, 0)
+	if resp != 0+4+8+4 {
+		t.Fatalf("response path contended with request path: arrive %d", resp)
+	}
+}

@@ -1,0 +1,37 @@
+package noc
+
+// Port models one link or bank with bounded-slack work conservation.
+// Simulated transfer times for different SMs are computed out of program
+// order, so a strict busy pointer would let reservations made "in the
+// future" non-causally delay traffic computed later but occurring earlier.
+// The port instead tracks its service frontier plus a bounded credit of
+// unused cycles before the frontier; early arrivals consume that idle
+// credit, and only genuinely saturated ports queue.
+type Port struct {
+	frontier uint64
+	slack    uint64
+}
+
+// maxSlack bounds how much idle history a port remembers (cycles).
+const maxSlack = 256
+
+// Claim allocates f cycles of capacity at or after ready, returning the
+// start cycle.
+func (p *Port) Claim(ready, f uint64) uint64 {
+	if ready >= p.frontier {
+		idle := ready - p.frontier
+		p.slack += idle
+		if p.slack > maxSlack {
+			p.slack = maxSlack
+		}
+		p.frontier = ready + f
+		return ready
+	}
+	if p.slack >= f {
+		p.slack -= f
+		return ready
+	}
+	start := p.frontier
+	p.frontier += f
+	return start
+}

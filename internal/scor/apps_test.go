@@ -1,0 +1,294 @@
+package scor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scord/internal/config"
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+func device(t *testing.T, mode config.DetectorMode) *gpu.Device {
+	t.Helper()
+	d, err := gpu.New(config.Default().WithDetector(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPartitionsCoverAndSkew: the work-stealing partitions tile the range
+// exactly and give block 0 the oversized share that makes stealing
+// deterministic.
+func TestPartitionsCoverAndSkew(t *testing.T) {
+	f := func(totalRaw uint16, blocksRaw uint8) bool {
+		total := int(totalRaw)%10000 + 100
+		blocks := int(blocksRaw)%30 + 2
+		start, end := partitions(total, blocks)
+		if start[0] != 0 || int(end[blocks-1]) != total {
+			return false
+		}
+		for b := 0; b < blocks; b++ {
+			if end[b] < start[b] {
+				return false
+			}
+			if b > 0 && start[b] != end[b-1] {
+				return false
+			}
+		}
+		// Block 0's share is the largest.
+		share0 := end[0] - start[0]
+		for b := 1; b < blocks-1; b++ {
+			if end[b]-start[b] > share0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkStealingActuallyHappens: the skewed partitions force steals in
+// GCOL's first round — the precondition for the Figure 3 injections to be
+// observable.
+func TestWorkStealingActuallyHappens(t *testing.T) {
+	d := device(t, config.ModeOff)
+	g := NewGCOL()
+	if err := g.Run(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	al, ok := d.Mem().FindAlloc("gcol.nextHead")
+	if !ok {
+		t.Fatal("nextHead allocation missing")
+	}
+	// After the final round, block 0's oversized partition must have been
+	// advanced beyond its end (every chunk claim adds Chunk, and stealers
+	// claim from it too).
+	_, pEnd := partitions(g.V, g.Blocks)
+	head0 := d.Mem().Read(al.Base)
+	if head0 <= pEnd[0] {
+		t.Fatalf("nextHead[0]=%d never overshot pEnd[0]=%d: no stealing pressure", head0, pEnd[0])
+	}
+}
+
+// TestUTSHostCountMatchesEncoding: host-side counting and the device node
+// encoding agree on every subtree (the bug class behind an early failure).
+func TestUTSHostCountMatchesEncoding(t *testing.T) {
+	u := NewUTS()
+	f := func(seed uint32) bool {
+		root := seed >> 3
+		direct := u.hostCount([]uint32{root})
+		// Count again through an encode/decode round trip at every level.
+		var rec func(n uint32) int
+		rec = func(n uint32) int {
+			val, depth := decodeNode(n)
+			kids := utsChildren(val, depth, u.MaxDepth, nil)
+			total := 1
+			for _, k := range kids {
+				total += rec(encodeNode(k, depth+1))
+			}
+			return total
+		}
+		return rec(encodeNode(root, 0)) == direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUTSChildrenBounded: fan-out stays within [0,4] and depth terminates.
+func TestUTSChildrenBounded(t *testing.T) {
+	f := func(val uint32, depth uint8) bool {
+		d := int(depth % 10)
+		kids := utsChildren(val>>3, d, 7, nil)
+		if d >= 7 {
+			return len(kids) == 0
+		}
+		return len(kids) <= 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppsDeterministic: identical seeds give identical cycles and race
+// reports for a representative injected app.
+func TestAppsDeterministic(t *testing.T) {
+	run := func() (uint64, int) {
+		d := device(t, config.ModeFull4B)
+		g := NewGCOL()
+		if err := g.Run(d, []string{"own-atomic"}); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Cycles, len(d.Races())
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, r1, c2, r2)
+	}
+}
+
+// TestRaceSpecMatching covers the spec matcher's prefix semantics.
+func TestRaceSpecMatching(t *testing.T) {
+	spec := RaceSpec{
+		ID:    "x",
+		Alloc: "app.data",
+		Site:  "app.cs",
+		Kinds: []core.RaceKind{core.RaceNotStrong},
+	}
+	rec := core.Record{Kind: core.RaceNotStrong, Site: "app.cs.store"}
+	if !spec.Matches("app.dataA", rec) {
+		t.Error("alloc prefix should match")
+	}
+	if spec.Matches("app.other", rec) {
+		t.Error("alloc mismatch accepted")
+	}
+	rec.Site = "elsewhere"
+	if spec.Matches("app.data", rec) {
+		t.Error("site mismatch accepted")
+	}
+	rec.Site = "app.cs"
+	rec.Kind = core.RaceScopedAtomic
+	if spec.Matches("app.data", rec) {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+// TestMatchRecordsDedupsByID: several specs sharing one ID count as one
+// expected race.
+func TestMatchRecordsDedupsByID(t *testing.T) {
+	d := device(t, config.ModeFull4B)
+	m := NewMM()
+	if err := m.Run(d, []string{"unlocked"}); err != nil {
+		t.Fatal(err)
+	}
+	specs := m.ExpectedRaces([]string{"unlocked"})
+	res := MatchRaces(d, specs)
+	if res.Expected != 1 {
+		t.Fatalf("expected = %d, want 1 unique ID", res.Expected)
+	}
+	if len(res.Missed) != 0 {
+		t.Fatalf("missed: %v", res.Missed)
+	}
+}
+
+// TestInjectionsAreDeclared: every app's ExpectedRaces with all injections
+// yields at least one spec per injection and matches the paper's per-app
+// race counts (Table II / Table VI).
+func TestInjectionsAreDeclared(t *testing.T) {
+	want := map[string]int{"MM": 4, "RED": 2, "R110": 2, "GCOL": 6, "GCON": 5, "1DC": 1, "UTS": 6}
+	total := 0
+	for _, b := range Apps() {
+		specs := b.ExpectedRaces(b.Injections())
+		ids := map[string]bool{}
+		for _, s := range specs {
+			ids[s.ID] = true
+		}
+		if got := len(ids); got != want[b.Name()] {
+			t.Errorf("%s declares %d unique races, want %d", b.Name(), got, want[b.Name()])
+		}
+		total += len(ids)
+		if len(b.Injections()) != want[b.Name()] {
+			t.Errorf("%s has %d injections, want %d", b.Name(), len(b.Injections()), want[b.Name()])
+		}
+	}
+	if total != 26 {
+		t.Errorf("apps declare %d unique races, want 26 (44 minus 18 micro)", total)
+	}
+}
+
+// TestUnknownInjectionPanics: the harness contract.
+func TestUnknownInjectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown injection accepted")
+		}
+	}()
+	d := device(t, config.ModeOff)
+	_ = NewRED().Run(d, []string{"no-such-switch"})
+}
+
+// TestSpinLockMutualExclusion: the helper really excludes under device
+// scope — two blocks hammering one counter never lose an update.
+func TestSpinLockMutualExclusion(t *testing.T) {
+	d := device(t, config.ModeOff)
+	lock := d.Alloc("l", 1)
+	ctr := d.Alloc("c", 1)
+	const per = 20
+	err := d.Launch("mutex", 4, 32, func(c *gpu.Ctx) {
+		for i := 0; i < per; i++ {
+			SpinLock(c, lock, gpu.ScopeDevice, gpu.ScopeDevice)
+			v := c.Load(ctr)
+			c.Work(7)
+			c.Store(ctr, v+1)
+			Unlock(c, lock, gpu.ScopeDevice, gpu.ScopeDevice)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mem().Read(ctr); got != 4*per {
+		t.Fatalf("counter = %d, want %d (mutual exclusion broken)", got, 4*per)
+	}
+}
+
+// TestBlockScopeLockIsNotGlobal: the same program with block-scope locks
+// loses updates across SMs — the Figure 5 failure mode.
+func TestBlockScopeLockIsNotGlobal(t *testing.T) {
+	d := device(t, config.ModeOff)
+	lock := d.Alloc("l", 1)
+	ctr := d.Alloc("c", 1)
+	const per = 20
+	err := d.Launch("broken", 4, 32, func(c *gpu.Ctx) {
+		for i := 0; i < per; i++ {
+			SpinLock(c, lock, gpu.ScopeBlock, gpu.ScopeBlock)
+			v := c.Load(ctr)
+			c.Work(7)
+			c.Store(ctr, v+1)
+			Unlock(c, lock, gpu.ScopeBlock, gpu.ScopeBlock)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mem().Read(ctr); got == 4*per {
+		t.Fatal("block-scope lock behaved like a global lock")
+	}
+}
+
+// TestWaitFlagBounded: gives up after the budget instead of hanging.
+func TestWaitFlagBounded(t *testing.T) {
+	d := device(t, config.ModeOff)
+	flag := d.Alloc("f", 1)
+	reached := d.Alloc("r", 1)
+	err := d.Launch("bounded", 1, 32, func(c *gpu.Ctx) {
+		ok := waitAtLeastBounded(c, flag, 5, 10) // nobody ever sets it
+		if !ok {
+			c.StoreV(reached, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mem().Read(reached) != 1 {
+		t.Fatal("bounded wait did not give up")
+	}
+}
+
+// TestAddrHelper: allocation layout assumptions used by race specs.
+func TestAddrHelper(t *testing.T) {
+	d := device(t, config.ModeOff)
+	a := d.Alloc("first", 3)
+	b := d.Alloc("second", 3)
+	if a == b || b-a < 12 {
+		t.Fatalf("allocations overlap: %#x %#x", a, b)
+	}
+	if al, ok := d.Mem().Locate(b + mem.Addr(4)); !ok || al.Name != "second" {
+		t.Fatal("Locate broken")
+	}
+}

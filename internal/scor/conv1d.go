@@ -1,0 +1,157 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// Conv1D is the One-Dimensional Convolution benchmark of Table II: each
+// block accumulates filter taps into its range of the output array using
+// atomic adds. Outputs interior to a block are only touched by that
+// block's warps, so block-scope atomics suffice; outputs in the halo
+// around block boundaries receive contributions from two blocks and need
+// device-scope atomics ("updates memory using scoped atomics based on
+// whether other blocks are updating the same location").
+//
+// This is the suite's most atomic-intensive benchmark, which is why the
+// paper observes its worst-case detection overhead on it (Figure 8).
+//
+// Injection:
+//   - "halo-atomic": halo updates use block scope — a scoped atomic race
+//     on the output array.
+type Conv1D struct {
+	N      int // input elements
+	Taps   int // filter length (odd)
+	Blocks int
+	TPB    int
+}
+
+// NewConv1D returns the benchmark at its default scaled-down size.
+func NewConv1D() *Conv1D { return &Conv1D{N: 32768, Taps: 9, Blocks: 16, TPB: 256} }
+
+// Name implements Benchmark.
+func (v *Conv1D) Name() string { return "1DC" }
+
+// Injections implements Benchmark.
+func (v *Conv1D) Injections() []string { return []string{"halo-atomic"} }
+
+// ExpectedRaces implements Benchmark.
+func (v *Conv1D) ExpectedRaces(active []string) []RaceSpec {
+	if !has(active, "halo-atomic") {
+		return nil
+	}
+	return []RaceSpec{{
+		ID:    "1dc.halo.block-atomic",
+		Alloc: "1dc.out",
+		Kinds: []core.RaceKind{core.RaceScopedAtomic},
+	}}
+}
+
+// Run implements Benchmark.
+func (v *Conv1D) Run(d *gpu.Device, active []string) error {
+	validateInjections(v, active)
+	ws := d.Config().WarpSize
+	warps := v.TPB / ws
+	chunk := v.N / v.Blocks
+	if v.N%v.Blocks != 0 || chunk%(warps*ws) != 0 {
+		return fmt.Errorf("1dc: N=%d does not tile into %d blocks x %d warps", v.N, v.Blocks, warps)
+	}
+	if v.Taps%2 == 0 {
+		return fmt.Errorf("1dc: filter length %d must be odd", v.Taps)
+	}
+	half := v.Taps / 2
+
+	in := d.Alloc("1dc.in", v.N)
+	filt := d.Alloc("1dc.filter", v.Taps)
+	out := d.Alloc("1dc.out", v.N)
+
+	rng := newRNG(d, 0x1dc)
+	iv := make([]uint32, v.N)
+	fv := make([]uint32, v.Taps)
+	for i := range iv {
+		iv[i] = uint32(rng.Intn(16))
+	}
+	for i := range fv {
+		fv[i] = uint32(rng.Intn(8))
+	}
+	d.Mem().HostWrite(in, iv)
+	d.Mem().HostWrite(filt, fv)
+
+	haloScope := gpu.ScopeDevice
+	if has(active, "halo-atomic") {
+		haloScope = gpu.ScopeBlock
+	}
+
+	perWarp := chunk / warps
+	err := d.Launch("1dc.convolve", v.Blocks, v.TPB, func(c *gpu.Ctx) {
+		b0 := c.Block * chunk
+		b1 := b0 + chunk
+		s := b0 + c.Warp*perWarp
+		// The filter is tiny and read-only; load it once per warp.
+		fl := append([]uint32(nil), c.LoadVec(c.Seq(filt, v.Taps), false)...)
+
+		intAddrs := make([]mem.Addr, 0, ws)
+		intVals := make([]uint32, 0, ws)
+		haloAddrs := make([]mem.Addr, 0, ws)
+		haloVals := make([]uint32, 0, ws)
+
+		for base := s; base < s+perWarp; base += ws {
+			vals := append([]uint32(nil), c.LoadVec(c.Seq(in+mem.Addr(base*4), ws), false)...)
+			// Each input element in[i] contributes in[i]*f[k] to
+			// out[i+k-half] for every tap k. Per-lane contributions are
+			// added atomically: block scope when the destination is
+			// interior to this block's output range (no other block can
+			// touch it), device scope in the halo near block boundaries.
+			for k := 0; k < v.Taps; k++ {
+				c.Work(ws / 8)
+				intAddrs, intVals = intAddrs[:0], intVals[:0]
+				haloAddrs, haloVals = haloAddrs[:0], haloVals[:0]
+				for lane := 0; lane < ws; lane++ {
+					dst := base + lane + k - half
+					if dst < 0 || dst >= v.N {
+						continue
+					}
+					add := vals[lane] * fl[k]
+					if add == 0 {
+						continue
+					}
+					if dst >= b0+half && dst < b1-half {
+						intAddrs = append(intAddrs, out+mem.Addr(dst*4))
+						intVals = append(intVals, add)
+					} else {
+						haloAddrs = append(haloAddrs, out+mem.Addr(dst*4))
+						haloVals = append(haloVals, add)
+					}
+				}
+				if len(intAddrs) > 0 {
+					c.Site("1dc.add.interior").AtomicAddVec(intAddrs, intVals, gpu.ScopeBlock)
+				}
+				if len(haloAddrs) > 0 {
+					c.Site("1dc.add.halo").AtomicAddVec(haloAddrs, haloVals, haloScope)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(active) == 0 {
+		for i := 0; i < v.N; i++ {
+			var want uint32
+			for k := 0; k < v.Taps; k++ {
+				src := i - (k - half)
+				if src >= 0 && src < v.N {
+					want += iv[src] * fv[k]
+				}
+			}
+			if got := d.Mem().Read(out + mem.Addr(i*4)); got != want {
+				return fmt.Errorf("1dc: out[%d] = %d, want %d", i, got, want)
+			}
+		}
+	}
+	return nil
+}

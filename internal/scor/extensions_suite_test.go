@@ -1,0 +1,65 @@
+package scor_test
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+)
+
+// TestExtensionMicrobenchmarks runs the Section VI extension scenarios
+// (ITS and explicit acquire/release) with the matching detector extension
+// enabled, and asserts detection exactly as for the main 32.
+func TestExtensionMicrobenchmarks(t *testing.T) {
+	for _, m := range micro.Extensions() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			cfg := config.Default().WithDetector(config.ModeFull4B)
+			cfg.Detector.ITS = m.NeedsITS()
+			cfg.Detector.AcqRel = m.NeedsAcqRel()
+			d, err := gpu.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(d, nil); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			res := scor.MatchRaces(d, m.ExpectedRaces(nil))
+			if len(res.Missed) > 0 {
+				t.Errorf("missed: %v (%d records)", res.Missed, res.AllRecords)
+				for _, r := range d.Races() {
+					t.Logf("record: %s", d.DescribeRecord(r))
+				}
+			}
+			for _, r := range res.FalsePos {
+				t.Errorf("false positive: %s", d.DescribeRecord(r))
+			}
+		})
+	}
+}
+
+// TestExtensionScenariosInertWithoutExtensions: with the extensions off,
+// the racey ITS scenario is invisible (pre-Volta semantics) and nothing
+// crashes.
+func TestExtensionScenariosInertWithoutExtensions(t *testing.T) {
+	for _, m := range micro.Extensions() {
+		if !m.NeedsITS() {
+			continue
+		}
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			d, err := gpu.New(config.Default().WithDetector(config.ModeFull4B))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(d, nil); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, r := range d.Races() {
+				t.Errorf("ITS-off run reported: %s", d.DescribeRecord(r))
+			}
+		})
+	}
+}

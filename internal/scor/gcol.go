@@ -1,0 +1,398 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/gtgraph"
+	"scord/internal/mem"
+)
+
+// workSentinel marks an exhausted work queue in currHead.
+const workSentinel = 0xFFFFFFFF
+
+// GCOL is the Graph Coloring benchmark of Table II: speculative parallel
+// coloring with per-round conflict resolution (Deveci et al. style), over
+// an R-MAT graph. Vertex partitions are deliberately imbalanced so blocks
+// that finish early steal work with the exact Figure 3 pattern: a leader
+// thread advances its own block's nextHead with a device-scope atomic (the
+// common case), and steals from a victim's nextHead with a device-scope
+// atomic when its partition runs dry.
+//
+// Injections (6, the paper's richest application):
+//   - "own-atomic":    nextHead advanced with block scope (Figure 3b's bug)
+//   - "steal-atomic":  stealing advance uses block scope
+//   - "head-nosync":   workers read currHead before the barrier
+//   - "conflict-atomic": conflict marks use block-scope atomics
+//   - "publish-fence": per-round stats published with a block-scope fence
+//   - "publish-weak":  per-round stats published with a weak store
+type GCOL struct {
+	V, E      int
+	Blocks    int
+	TPB       int
+	Chunk     int
+	MaxRounds int
+}
+
+// NewGCOL returns the benchmark at its default scaled-down size.
+func NewGCOL() *GCOL {
+	return &GCOL{V: 4096, E: 8192, Blocks: 16, TPB: 128, Chunk: 32, MaxRounds: 12}
+}
+
+// Name implements Benchmark.
+func (g *GCOL) Name() string { return "GCOL" }
+
+// Injections implements Benchmark.
+func (g *GCOL) Injections() []string {
+	return []string{"own-atomic", "steal-atomic", "head-nosync", "conflict-atomic", "publish-fence", "publish-weak"}
+}
+
+// ExpectedRaces implements Benchmark.
+func (g *GCOL) ExpectedRaces(active []string) []RaceSpec {
+	csCascade := []core.RaceKind{core.RaceMissingBlockFence, core.RaceMissingDeviceFence, core.RaceNotStrong}
+	var specs []RaceSpec
+	if has(active, "own-atomic") {
+		specs = append(specs,
+			RaceSpec{
+				ID:    "gcol.own.block-atomic",
+				Alloc: "gcol.nextHead",
+				Kinds: []core.RaceKind{core.RaceScopedAtomic},
+			},
+			// Cascade: per-SM head views double-assign vertices, so two
+			// blocks write the same colorsOut entries.
+			RaceSpec{ID: "gcol.own.block-atomic", Alloc: "gcol.colorsOut", Kinds: csCascade})
+	}
+	if has(active, "steal-atomic") {
+		specs = append(specs,
+			RaceSpec{
+				ID:    "gcol.steal.block-atomic",
+				Alloc: "gcol.nextHead",
+				Kinds: []core.RaceKind{core.RaceScopedAtomic},
+			},
+			RaceSpec{ID: "gcol.steal.block-atomic", Alloc: "gcol.colorsOut", Kinds: csCascade})
+	}
+	if has(active, "head-nosync") {
+		specs = append(specs,
+			RaceSpec{
+				ID:    "gcol.head.nosync",
+				Alloc: "gcol.currHead",
+				Kinds: []core.RaceKind{core.RaceMissingBlockFence, core.RaceNotStrong},
+			},
+			// Cascade of the same bug: stale heads make two warps process
+			// one chunk, racing on the colors they write.
+			RaceSpec{
+				ID:    "gcol.head.nosync",
+				Alloc: "gcol.currOwner",
+				Kinds: []core.RaceKind{core.RaceMissingBlockFence, core.RaceNotStrong},
+			},
+			RaceSpec{
+				ID:    "gcol.head.nosync",
+				Alloc: "gcol.colorsOut",
+				Kinds: []core.RaceKind{core.RaceMissingBlockFence, core.RaceMissingDeviceFence, core.RaceNotStrong},
+			})
+	}
+	if has(active, "conflict-atomic") {
+		specs = append(specs, RaceSpec{
+			ID:    "gcol.conflict.block-atomic",
+			Alloc: "gcol.conflicts",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	if has(active, "publish-fence") {
+		specs = append(specs, RaceSpec{
+			ID:    "gcol.publish.block-fence",
+			Alloc: "gcol.coloredCount",
+			Kinds: []core.RaceKind{core.RaceMissingDeviceFence},
+		})
+	}
+	if has(active, "publish-weak") {
+		// When combined with publish-fence, the fence condition fires
+		// first and subsumes the strength violation on the same record.
+		specs = append(specs, RaceSpec{
+			ID:    "gcol.publish.weak",
+			Alloc: "gcol.coloredCount",
+			Kinds: []core.RaceKind{core.RaceNotStrong, core.RaceMissingDeviceFence},
+		})
+	}
+	return specs
+}
+
+// partitions returns deliberately skewed [start, end) vertex (or edge)
+// ranges: the first block gets a triple share so other blocks finish first
+// and steal from it, making work stealing deterministic.
+func partitions(total, blocks int) (start, end []uint32) {
+	start = make([]uint32, blocks)
+	end = make([]uint32, blocks)
+	weight := blocks + 2 // first block weight 3, others 1
+	unit := total / weight
+	cursor := 0
+	for b := 0; b < blocks; b++ {
+		share := unit
+		if b == 0 {
+			share = 3 * unit
+		}
+		if b == blocks-1 {
+			share = total - cursor
+		}
+		start[b] = uint32(cursor)
+		end[b] = uint32(cursor + share)
+		cursor += share
+	}
+	return start, end
+}
+
+// getWork is the leader-thread work-fetch of Figure 3: advance the own
+// partition's head, else scan for a victim and steal.
+func getWork(c *gpu.Ctx, nextHead mem.Addr, pEnd []uint32, chunk int, ownScope, stealScope gpu.Scope) (head uint32, owner int) {
+	b := c.Block
+	h := c.Site("gcol.getwork.own").AtomicAdd(nextHead+mem.Addr(b*4), uint32(chunk), ownScope)
+	if h < pEnd[b] {
+		return h, b
+	}
+	blocks := len(pEnd)
+	for i := 1; i < blocks; i++ {
+		v := (b + i) % blocks
+		probe := c.Site("gcol.getwork.probe").AtomicAdd(nextHead+mem.Addr(v*4), 0, gpu.ScopeDevice)
+		if probe >= pEnd[v] {
+			continue
+		}
+		h = c.Site("gcol.getwork.steal").AtomicAdd(nextHead+mem.Addr(v*4), uint32(chunk), stealScope)
+		if h < pEnd[v] {
+			return h, v
+		}
+	}
+	return workSentinel, -1
+}
+
+// Run implements Benchmark.
+func (g *GCOL) Run(d *gpu.Device, active []string) error {
+	validateInjections(g, active)
+	graph := gtgraph.RMAT(g.V, g.E, d.Config().Seed+0xC01)
+	warps := g.TPB / d.Config().WarpSize
+
+	rowPtr := d.Alloc("gcol.rowPtr", g.V+1)
+	colIdx := d.Alloc("gcol.colIdx", len(graph.Col))
+	colorsIn := d.Alloc("gcol.colorsIn", g.V)
+	colorsOut := d.Alloc("gcol.colorsOut", g.V)
+	conflicts := d.Alloc("gcol.conflicts", g.V)
+	nextHead := d.Alloc("gcol.nextHead", g.Blocks)
+	currHead := d.Alloc("gcol.currHead", g.Blocks)
+	currOwner := d.Alloc("gcol.currOwner", g.Blocks)
+	edgeU := d.Alloc("gcol.edgeU", graph.Edges())
+	edgeW := d.Alloc("gcol.edgeW", graph.Edges())
+	coloredCount := d.Alloc("gcol.coloredCount", g.Blocks)
+	arriveCtr := d.Alloc("gcol.arrive", 1)
+	totalColored := d.Alloc("gcol.total", 1)
+
+	row32 := make([]uint32, g.V+1)
+	for i, v := range graph.RowPtr {
+		row32[i] = uint32(v)
+	}
+	col32 := make([]uint32, len(graph.Col))
+	for i, v := range graph.Col {
+		col32[i] = uint32(v)
+	}
+	d.Mem().HostWrite(rowPtr, row32)
+	d.Mem().HostWrite(colIdx, col32)
+	eu := make([]uint32, 0, graph.Edges())
+	ew := make([]uint32, 0, graph.Edges())
+	for u := 0; u < g.V; u++ {
+		for _, w := range graph.Neighbors(u) {
+			if int32(u) < w {
+				eu = append(eu, uint32(u))
+				ew = append(ew, uint32(w))
+			}
+		}
+	}
+	d.Mem().HostWrite(edgeU, eu)
+	d.Mem().HostWrite(edgeW, ew)
+
+	pStart, pEnd := partitions(g.V, g.Blocks)
+
+	ownScope, stealScope := gpu.ScopeDevice, gpu.ScopeDevice
+	if has(active, "own-atomic") {
+		ownScope = gpu.ScopeBlock
+	}
+	if has(active, "steal-atomic") {
+		stealScope = gpu.ScopeBlock
+	}
+	headNoSync := has(active, "head-nosync")
+	conflictScope := gpu.ScopeDevice
+	if has(active, "conflict-atomic") {
+		conflictScope = gpu.ScopeBlock
+	}
+	publishFence := gpu.ScopeDevice
+	if has(active, "publish-fence") {
+		publishFence = gpu.ScopeBlock
+	}
+	publishWeak := has(active, "publish-weak")
+
+	assignKernel := func(c *gpu.Ctx) {
+		perWarp := (g.Chunk + warps - 1) / warps
+		// A correctly synchronized run can hand one block at most the
+		// whole vertex set; the budget only bites when injected
+		// block-scope heads make stealing re-issue chunks forever.
+		budget := g.V/g.Chunk + 8
+		for {
+			if c.Warp == 0 {
+				h, owner := uint32(workSentinel), -1
+				if budget > 0 {
+					budget--
+					h, owner = getWork(c, nextHead, pEnd, g.Chunk, ownScope, stealScope)
+				}
+				c.Site("gcol.head.store").Store(currHead+mem.Addr(c.Block*4), h)
+				c.Site("gcol.owner.store").Store(currOwner+mem.Addr(c.Block*4), uint32(int32(owner)))
+			}
+			if headNoSync && c.Warp != 0 {
+				// Injected bug: read the head before the barrier.
+				c.Site("gcol.head.load").Load(currHead + mem.Addr(c.Block*4))
+			}
+			c.SyncThreads()
+			h := c.Site("gcol.head.load").Load(currHead + mem.Addr(c.Block*4))
+			owner := int32(c.Site("gcol.owner.load").Load(currOwner + mem.Addr(c.Block*4)))
+			if h == workSentinel {
+				return
+			}
+			lo := int(h) + c.Warp*perWarp
+			hi := min(int(h)+(c.Warp+1)*perWarp, int(h)+g.Chunk)
+			hi = min(hi, int(pEnd[owner]))
+			for v := lo; v < hi; v++ {
+				if c.Load(colorsIn+mem.Addr(v*4)) != 0 {
+					continue
+				}
+				r0 := c.Load(rowPtr + mem.Addr(v*4))
+				r1 := c.Load(rowPtr + mem.Addr((v+1)*4))
+				var used uint64
+				for e := r0; e < r1; e++ {
+					nb := c.Load(colIdx + mem.Addr(e*4))
+					nc := c.Load(colorsIn + mem.Addr(nb*4))
+					if nc > 0 && nc < 64 {
+						used |= 1 << nc
+					}
+				}
+				c.Work(int(r1-r0) + 2)
+				color := uint32(1)
+				for used&(1<<color) != 0 {
+					color++
+				}
+				c.Site("gcol.colors.assign").Store(colorsOut+mem.Addr(v*4), color)
+			}
+			c.SyncThreads()
+		}
+	}
+
+	conflictKernel := func(c *gpu.Ctx) {
+		ws := c.WarpSize
+		total := len(eu)
+		per := (total + g.Blocks*warps - 1) / (g.Blocks * warps)
+		lo := c.GlobalWarp() * per
+		hi := min(lo+per, total)
+		addrs := make([]mem.Addr, 0, ws)
+		for base := lo; base < hi; base += ws {
+			n := min(ws, hi-base)
+			us := append([]uint32(nil), c.LoadVec(c.Seq(edgeU+mem.Addr(base*4), n), false)...)
+			wsV := append([]uint32(nil), c.LoadVec(c.Seq(edgeW+mem.Addr(base*4), n), false)...)
+			addrs = addrs[:0]
+			for i := 0; i < n; i++ {
+				addrs = append(addrs, colorsOut+mem.Addr(us[i]*4))
+			}
+			cu := append([]uint32(nil), c.LoadVec(addrs, false)...)
+			addrs = addrs[:0]
+			for i := 0; i < n; i++ {
+				addrs = append(addrs, colorsOut+mem.Addr(wsV[i]*4))
+			}
+			cw := append([]uint32(nil), c.LoadVec(addrs, false)...)
+			for i := 0; i < n; i++ {
+				if cu[i] != 0 && cu[i] == cw[i] {
+					// Conflict: the smaller-id endpoint must recolor.
+					loser := us[i]
+					if wsV[i] < loser {
+						loser = wsV[i]
+					}
+					c.Site("gcol.conflict.mark").AtomicExch(conflicts+mem.Addr(loser*4), 1, conflictScope)
+				}
+			}
+			c.Work(n / 4)
+		}
+	}
+
+	applyKernel := func(c *gpu.Ctx) {
+		per := (g.V + g.Blocks*warps - 1) / (g.Blocks * warps)
+		lo := c.GlobalWarp() * per
+		hi := min(lo+per, g.V)
+		colored := uint32(0)
+		for v := lo; v < hi; v++ {
+			in := c.Load(colorsIn + mem.Addr(v*4))
+			if in != 0 {
+				colored++
+				continue
+			}
+			out := c.Load(colorsOut + mem.Addr(v*4))
+			if c.Load(conflicts+mem.Addr(v*4)) != 0 {
+				out = 0
+			}
+			c.Store(colorsIn+mem.Addr(v*4), out)
+			if out != 0 {
+				colored++
+			}
+		}
+		// Fold per-warp counts with a block-scope atomic, then the leader
+		// publishes the block total for the last block to sum.
+		c.Site("gcol.blockcount").AtomicAdd(coloredCount+mem.Addr(c.Block*4), colored, gpu.ScopeBlock)
+		c.SyncThreads()
+		if c.Warp != 0 {
+			return
+		}
+		cnt := c.AtomicAdd(coloredCount+mem.Addr(c.Block*4), 0, gpu.ScopeBlock)
+		if publishWeak {
+			c.Site("gcol.publish").Store(coloredCount+mem.Addr(c.Block*4), cnt)
+		} else {
+			c.Site("gcol.publish").StoreV(coloredCount+mem.Addr(c.Block*4), cnt)
+		}
+		c.Fence(publishFence)
+		if Arrive(c, arriveCtr) == uint32(c.Blocks) {
+			sum := uint32(0)
+			for _, v := range c.Site("gcol.publish.sum").LoadVec(c.Seq(coloredCount, c.Blocks), true) {
+				sum += v
+			}
+			c.StoreV(totalColored, sum)
+		}
+	}
+
+	rounds := 0
+	for ; rounds < g.MaxRounds; rounds++ {
+		d.Mem().HostWrite(nextHead, pStart)
+		d.Mem().HostFill(conflicts, g.V, 0)
+		d.Mem().HostFill(coloredCount, g.Blocks, 0)
+		d.Mem().HostFill(arriveCtr, 1, 0)
+		if err := d.Launch("gcol.assign", g.Blocks, g.TPB, assignKernel); err != nil {
+			return err
+		}
+		if err := d.Launch("gcol.conflict", g.Blocks, g.TPB, conflictKernel); err != nil {
+			return err
+		}
+		if err := d.Launch("gcol.apply", g.Blocks, g.TPB, applyKernel); err != nil {
+			return err
+		}
+		if d.Mem().Read(totalColored) == uint32(g.V) {
+			rounds++
+			break
+		}
+	}
+
+	if len(active) == 0 {
+		colors := d.Mem().HostRead(colorsIn, g.V)
+		for v := 0; v < g.V; v++ {
+			if colors[v] == 0 {
+				return fmt.Errorf("gcol: vertex %d uncolored after %d rounds", v, rounds)
+			}
+			for _, w := range graph.Neighbors(v) {
+				if colors[v] == colors[w] {
+					return fmt.Errorf("gcol: adjacent vertices %d,%d share color %d", v, w, colors[v])
+				}
+			}
+		}
+	}
+	return nil
+}

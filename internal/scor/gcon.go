@@ -1,0 +1,257 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/gtgraph"
+	"scord/internal/mem"
+)
+
+// GCON is the Graph Connectivity benchmark of Table II: connected
+// components by label propagation (Sutton et al. style) — every vertex
+// starts labelled with its own id and edges repeatedly propagate the
+// maximum label with device-scope atomicMax until a fixed point. Edge
+// ranges are distributed across blocks with the same skewed partitions and
+// Figure 3 work-stealing pattern as GCOL.
+//
+// Injections (5):
+//   - "own-atomic":    own nextHead advanced with block scope
+//   - "steal-atomic":  stealing advance uses block scope
+//   - "label-atomic":  label atomicMax uses block scope
+//   - "publish-fence": per-round change counts published with a block fence
+//   - "publish-weak":  per-round change counts published with a weak store
+type GCON struct {
+	V, E      int
+	Blocks    int
+	TPB       int
+	Chunk     int
+	MaxRounds int
+}
+
+// NewGCON returns the benchmark at its default scaled-down size.
+func NewGCON() *GCON {
+	return &GCON{V: 8192, E: 20480, Blocks: 16, TPB: 128, Chunk: 64, MaxRounds: 40}
+}
+
+// Name implements Benchmark.
+func (g *GCON) Name() string { return "GCON" }
+
+// Injections implements Benchmark.
+func (g *GCON) Injections() []string {
+	return []string{"own-atomic", "steal-atomic", "label-atomic", "publish-fence", "publish-weak"}
+}
+
+// ExpectedRaces implements Benchmark.
+func (g *GCON) ExpectedRaces(active []string) []RaceSpec {
+	var specs []RaceSpec
+	if has(active, "own-atomic") {
+		specs = append(specs, RaceSpec{
+			ID:    "gcon.own.block-atomic",
+			Alloc: "gcon.nextHead",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	if has(active, "steal-atomic") {
+		specs = append(specs, RaceSpec{
+			ID:    "gcon.steal.block-atomic",
+			Alloc: "gcon.nextHead",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	if has(active, "label-atomic") {
+		specs = append(specs, RaceSpec{
+			ID:    "gcon.label.block-atomic",
+			Alloc: "gcon.labels",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	if has(active, "publish-fence") {
+		specs = append(specs, RaceSpec{
+			ID:    "gcon.publish.block-fence",
+			Alloc: "gcon.changed",
+			Kinds: []core.RaceKind{core.RaceMissingDeviceFence},
+		})
+	}
+	if has(active, "publish-weak") {
+		// The fence condition subsumes the strength violation when the
+		// publish-fence injection is active simultaneously.
+		specs = append(specs, RaceSpec{
+			ID:    "gcon.publish.weak",
+			Alloc: "gcon.changed",
+			Kinds: []core.RaceKind{core.RaceNotStrong, core.RaceMissingDeviceFence},
+		})
+	}
+	return specs
+}
+
+// Run implements Benchmark.
+func (g *GCON) Run(d *gpu.Device, active []string) error {
+	validateInjections(g, active)
+	graph := gtgraph.RMAT(g.V, g.E, d.Config().Seed+0xC02)
+	warps := g.TPB / d.Config().WarpSize
+	nEdges := graph.Edges()
+
+	labels := d.Alloc("gcon.labels", g.V)
+	edgeU := d.Alloc("gcon.edgeU", nEdges)
+	edgeW := d.Alloc("gcon.edgeW", nEdges)
+	nextHead := d.Alloc("gcon.nextHead", g.Blocks)
+	currHead := d.Alloc("gcon.currHead", g.Blocks)
+	currOwner := d.Alloc("gcon.currOwner", g.Blocks)
+	changed := d.Alloc("gcon.changed", g.Blocks)
+	arriveCtr := d.Alloc("gcon.arrive", 1)
+	totalChanged := d.Alloc("gcon.total", 1)
+
+	init := make([]uint32, g.V)
+	for i := range init {
+		init[i] = uint32(i)
+	}
+	d.Mem().HostWrite(labels, init)
+	eu := make([]uint32, 0, nEdges)
+	ew := make([]uint32, 0, nEdges)
+	for u := 0; u < g.V; u++ {
+		for _, w := range graph.Neighbors(u) {
+			if int32(u) < w {
+				eu = append(eu, uint32(u))
+				ew = append(ew, uint32(w))
+			}
+		}
+	}
+	d.Mem().HostWrite(edgeU, eu)
+	d.Mem().HostWrite(edgeW, ew)
+
+	pStart, pEnd := partitions(nEdges, g.Blocks)
+
+	ownScope, stealScope := gpu.ScopeDevice, gpu.ScopeDevice
+	if has(active, "own-atomic") {
+		ownScope = gpu.ScopeBlock
+	}
+	if has(active, "steal-atomic") {
+		stealScope = gpu.ScopeBlock
+	}
+	labelScope := gpu.ScopeDevice
+	if has(active, "label-atomic") {
+		labelScope = gpu.ScopeBlock
+	}
+	publishFence := gpu.ScopeDevice
+	if has(active, "publish-fence") {
+		publishFence = gpu.ScopeBlock
+	}
+	publishWeak := has(active, "publish-weak")
+
+	propagate := func(c *gpu.Ctx) {
+		ws := c.WarpSize
+		perWarp := (g.Chunk + warps - 1) / warps
+		var nChanged uint32
+		lblAddrs := make([]mem.Addr, 0, ws)
+		maxAddrs := make([]mem.Addr, 0, ws)
+		maxVals := make([]uint32, 0, ws)
+
+		// Termination guard against injected block-scope heads (see GCOL).
+		budget := nEdges/g.Chunk + 8
+		for {
+			if c.Warp == 0 {
+				h, owner := uint32(workSentinel), -1
+				if budget > 0 {
+					budget--
+					h, owner = getWork(c, nextHead, pEnd, g.Chunk, ownScope, stealScope)
+				}
+				c.Site("gcon.head.store").Store(currHead+mem.Addr(c.Block*4), h)
+				c.Site("gcon.owner.store").Store(currOwner+mem.Addr(c.Block*4), uint32(int32(owner)))
+			}
+			c.SyncThreads()
+			h := c.Site("gcon.head.load").Load(currHead + mem.Addr(c.Block*4))
+			owner := int32(c.Site("gcon.owner.load").Load(currOwner + mem.Addr(c.Block*4)))
+			if h == workSentinel {
+				break
+			}
+			lo := int(h) + c.Warp*perWarp
+			hi := min(int(h)+(c.Warp+1)*perWarp, int(h)+g.Chunk)
+			hi = min(hi, int(pEnd[owner]))
+			for base := lo; base < hi; base += ws {
+				n := min(ws, hi-base)
+				us := append([]uint32(nil), c.LoadVec(c.Seq(edgeU+mem.Addr(base*4), n), false)...)
+				wsV := append([]uint32(nil), c.LoadVec(c.Seq(edgeW+mem.Addr(base*4), n), false)...)
+				// Labels are concurrently updated by atomicMax, so reads
+				// must be atomic too.
+				lblAddrs = lblAddrs[:0]
+				for i := 0; i < n; i++ {
+					lblAddrs = append(lblAddrs, labels+mem.Addr(us[i]*4))
+				}
+				lu := append([]uint32(nil), c.Site("gcon.label.read").AtomicReadVec(lblAddrs, labelScope)...)
+				lblAddrs = lblAddrs[:0]
+				for i := 0; i < n; i++ {
+					lblAddrs = append(lblAddrs, labels+mem.Addr(wsV[i]*4))
+				}
+				lw := append([]uint32(nil), c.Site("gcon.label.read").AtomicReadVec(lblAddrs, labelScope)...)
+
+				maxAddrs, maxVals = maxAddrs[:0], maxVals[:0]
+				for i := 0; i < n; i++ {
+					switch {
+					case lu[i] > lw[i]:
+						maxAddrs = append(maxAddrs, labels+mem.Addr(wsV[i]*4))
+						maxVals = append(maxVals, lu[i])
+						nChanged++
+					case lw[i] > lu[i]:
+						maxAddrs = append(maxAddrs, labels+mem.Addr(us[i]*4))
+						maxVals = append(maxVals, lw[i])
+						nChanged++
+					}
+				}
+				if len(maxAddrs) > 0 {
+					c.Site("gcon.label.max").AtomicMaxVec(maxAddrs, maxVals, labelScope)
+				}
+				c.Work(n / 4)
+			}
+			c.SyncThreads()
+		}
+
+		// Publish the block's change count: per-warp block atomics, then
+		// the leader posts the total for the last block to sum.
+		c.Site("gcon.blockcount").AtomicAdd(changed+mem.Addr(c.Block*4), nChanged, gpu.ScopeBlock)
+		c.SyncThreads()
+		if c.Warp != 0 {
+			return
+		}
+		cnt := c.AtomicAdd(changed+mem.Addr(c.Block*4), 0, gpu.ScopeBlock)
+		if publishWeak {
+			c.Site("gcon.publish").Store(changed+mem.Addr(c.Block*4), cnt)
+		} else {
+			c.Site("gcon.publish").StoreV(changed+mem.Addr(c.Block*4), cnt)
+		}
+		c.Fence(publishFence)
+		if Arrive(c, arriveCtr) == uint32(c.Blocks) {
+			sum := uint32(0)
+			for _, v := range c.Site("gcon.publish.sum").LoadVec(c.Seq(changed, c.Blocks), true) {
+				sum += v
+			}
+			c.StoreV(totalChanged, sum)
+		}
+	}
+
+	rounds := 0
+	for ; rounds < g.MaxRounds; rounds++ {
+		d.Mem().HostWrite(nextHead, pStart)
+		d.Mem().HostFill(changed, g.Blocks, 0)
+		d.Mem().HostFill(arriveCtr, 1, 0)
+		d.Mem().HostFill(totalChanged, 1, 0)
+		if err := d.Launch("gcon.propagate", g.Blocks, g.TPB, propagate); err != nil {
+			return err
+		}
+		if d.Mem().Read(totalChanged) == 0 {
+			break
+		}
+	}
+
+	if len(active) == 0 {
+		want := gtgraph.Components(graph)
+		got := d.Mem().HostRead(labels, g.V)
+		for v := range want {
+			if got[v] != uint32(want[v]) {
+				return fmt.Errorf("gcon: label[%d] = %d, want %d (after %d rounds)", v, got[v], want[v], rounds)
+			}
+		}
+	}
+	return nil
+}

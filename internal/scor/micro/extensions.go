@@ -1,0 +1,137 @@
+package micro
+
+import (
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/scor"
+)
+
+// NeedsITS reports whether the scenario requires the Independent Thread
+// Scheduling detector extension (Section VI).
+func (m *Micro) NeedsITS() bool { return m.needITS }
+
+// NeedsAcqRel reports whether the scenario requires the explicit
+// acquire/release detector extension (Section VI).
+func (m *Micro) NeedsAcqRel() bool { return m.needAcqRel }
+
+// Extensions returns the additional microbenchmarks exercising the two
+// Section VI detector extensions. They are not part of the paper's 32
+// (Table I) and are kept in a separate list; run them on a device whose
+// detector config enables the matching extension.
+func Extensions() []*Micro {
+	var ms []*Micro
+	add := func(m *Micro) { ms = append(ms, m) }
+
+	// --- Independent Thread Scheduling -------------------------------
+	add(&Micro{
+		name: "its.racey.diverged-lanes", group: "its", racey: true, sameBlock: true,
+		needITS: true,
+		specs: []scor.RaceSpec{{
+			ID: "its.diverged-lanes", Alloc: "m.data",
+			Kinds: []core.RaceKind{core.RaceDivergedWarp},
+		}},
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role != 0 {
+				return
+			}
+			// A diverged warp: both paths of a branch touch common data.
+			c.AtLane(2).Site("m.then").Store(a.data, 1)
+			c.AtLane(19).Site("m.else").Store(a.data, 2)
+			c.Converge()
+		},
+	})
+	add(&Micro{
+		name: "its.ok.diverged-disjoint", group: "its", sameBlock: true,
+		needITS: true,
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role != 0 {
+				return
+			}
+			c.AtLane(2).Store(a.data, 1)
+			c.AtLane(19).Store(a.data2, 2) // different data: no conflict
+			c.Converge()
+		},
+	})
+	add(&Micro{
+		name: "its.ok.reconverged", group: "its", sameBlock: true,
+		needITS: true,
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role != 0 {
+				return
+			}
+			c.AtLane(2).Store(a.data, 1)
+			c.Converge()
+			// After reconvergence the warp acts as one thread again.
+			c.Store(a.data, 2)
+		},
+	})
+
+	// --- Explicit acquire/release (PTX 6.0) --------------------------
+	add(&Micro{
+		name: "acqrel.ok.handshake", group: "acqrel",
+		needAcqRel: true,
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role == 0 {
+				c.StoreV(a.data, 99)
+				c.Release(a.flag, 1, gpu.ScopeDevice)
+			} else {
+				for c.Acquire(a.flag, gpu.ScopeDevice) != 1 {
+					c.Work(25)
+				}
+				c.LoadV(a.data)
+			}
+		},
+	})
+	add(&Micro{
+		name: "acqrel.racey.plain-exch-publish", group: "acqrel", racey: true,
+		needAcqRel: true,
+		specs: []scor.RaceSpec{{
+			ID: "acqrel.plain-exch", Alloc: "m.data",
+			Kinds: []core.RaceKind{core.RaceMissingDeviceFence},
+		}},
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role == 0 {
+				c.Site("m.pub").StoreV(a.data, 99)
+				c.AtomicExch(a.flag, 1, gpu.ScopeDevice) // no release ordering
+			} else {
+				for c.Acquire(a.flag, gpu.ScopeDevice) != 1 {
+					c.Work(25)
+				}
+				c.Site("m.sub").LoadV(a.data)
+			}
+		},
+	})
+	add(&Micro{
+		name: "acqrel.racey.block-release", group: "acqrel", racey: true,
+		needAcqRel: true,
+		specs: []scor.RaceSpec{
+			{
+				ID: "acqrel.block-release", Alloc: "m.data",
+				Kinds: []core.RaceKind{core.RaceMissingDeviceFence},
+			},
+			// The block-scope release also leaves the sync variable
+			// SM-local: the consumer's device-scope acquire races with it.
+			{
+				ID: "acqrel.block-release", Alloc: "m.flag",
+				Kinds: []core.RaceKind{core.RaceScopedAtomic},
+			},
+		},
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role == 0 {
+				c.Site("m.pub").StoreV(a.data, 99)
+				// Release at block scope: the cross-block consumer is
+				// outside the ordering's reach — and never even observes
+				// the sync variable flip (it stays in this SM's L1).
+				c.Release(a.flag, 1, gpu.ScopeBlock)
+			} else {
+				// Bounded: the broken release would otherwise spin forever.
+				for i := 0; i < 200 && c.Acquire(a.flag, gpu.ScopeDevice) != 1; i++ {
+					c.Work(25)
+				}
+				c.Site("m.sub").LoadV(a.data)
+			}
+		},
+	})
+
+	return ms
+}

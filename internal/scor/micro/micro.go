@@ -1,0 +1,506 @@
+// Package micro implements the thirty-two microbenchmarks of the ScoR
+// suite (Table I of the paper): 6 fence tests (2 racey), 9 atomics tests
+// (4 racey), and 17 lock/unlock tests (12 racey). Each uses two warps —
+// the paper's "two threads" — placed in the same or different threadblocks
+// and is a unit test for one race condition (or for the absence of false
+// positives).
+package micro
+
+import (
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+	"scord/internal/scor"
+)
+
+// arena is the standard set of allocations every microbenchmark uses.
+type arena struct {
+	data, data2, flag, lockA, lockB mem.Addr
+}
+
+// Micro is one microbenchmark scenario.
+type Micro struct {
+	name       string
+	group      string // "fence", "atomics", "lock"
+	class_     string // race class for Table VIII: "fences", "scoped-fences", "scoped-atomics", "locks"
+	racey      bool
+	sameBlock  bool
+	needITS    bool // Section VI extension scenarios only
+	needAcqRel bool
+	specs      []scor.RaceSpec
+	kern       func(c *gpu.Ctx, a arena, role int)
+}
+
+// Name implements scor.Benchmark.
+func (m *Micro) Name() string { return m.name }
+
+// Group returns the synchronization category of Table I.
+func (m *Micro) Group() string { return m.group }
+
+// Racey reports whether the scenario contains an intentional race.
+func (m *Micro) Racey() bool { return m.racey }
+
+// Class returns the Table VIII race class of a racey scenario: "fences",
+// "scoped-fences", "scoped-atomics", or "locks" (empty for non-racey
+// scenarios).
+func (m *Micro) Class() string { return m.class_ }
+
+// Injections implements scor.Benchmark: microbenchmarks are fixed racey or
+// non-racey scenarios without switches.
+func (m *Micro) Injections() []string { return nil }
+
+// ExpectedRaces implements scor.Benchmark.
+func (m *Micro) ExpectedRaces([]string) []scor.RaceSpec { return m.specs }
+
+// Run implements scor.Benchmark.
+func (m *Micro) Run(d *gpu.Device, active []string) error {
+	a := arena{
+		data:  d.Alloc("m.data", 32),
+		data2: d.Alloc("m.data2", 32),
+		flag:  d.Alloc("m.flag", 8),
+		lockA: d.Alloc("m.lockA", 8),
+		lockB: d.Alloc("m.lockB", 8),
+	}
+	blocks, tpb := 2, 32
+	if m.sameBlock {
+		blocks, tpb = 1, 64
+	}
+	return d.Launch("micro."+m.name, blocks, tpb, func(c *gpu.Ctx) {
+		m.kern(c, a, c.Block*c.Warps+c.Warp)
+	})
+}
+
+func kinds(k ...core.RaceKind) []core.RaceKind { return k }
+
+// csInc is the canonical critical-section body: a weak read-modify-write
+// of m.data.
+func csInc(c *gpu.Ctx, a arena) {
+	v := c.Site("m.cs.load").Load(a.data)
+	c.Work(4)
+	c.Site("m.cs.store").Store(a.data, v+1)
+}
+
+// producerConsumer builds a sequenced publish scenario: role 0 stores data
+// and signals, role 1 waits and reads.
+func producerConsumer(produce func(c *gpu.Ctx, a arena), consume func(c *gpu.Ctx, a arena)) func(*gpu.Ctx, arena, int) {
+	return func(c *gpu.Ctx, a arena, role int) {
+		if role == 0 {
+			produce(c, a)
+			scor.Signal(c, a.flag)
+		} else {
+			scor.WaitFlag(c, a.flag, 1)
+			consume(c, a)
+		}
+	}
+}
+
+// All returns the 32 microbenchmarks.
+func All() []*Micro {
+	var ms []*Micro
+	add := func(m *Micro) { ms = append(ms, m) }
+
+	dataRace := func(id string, ks ...core.RaceKind) []scor.RaceSpec {
+		return []scor.RaceSpec{{ID: id, Alloc: "m.data", Kinds: ks}}
+	}
+	lockRace := func(id string) []scor.RaceSpec {
+		return []scor.RaceSpec{{ID: id, Alloc: "m.lockA", Kinds: kinds(core.RaceScopedAtomic)}}
+	}
+
+	// ------------------------------------------------------------------
+	// Fence tests: a write to global memory followed by a read by another
+	// thread, with or without a __threadfence in between, of varying
+	// scopes (Table I).
+	// ------------------------------------------------------------------
+	add(&Micro{
+		name: "fence.racey.cross-none", class_: "fences", group: "fence", racey: true,
+		specs: dataRace("fence.cross-none", core.RaceMissingDeviceFence),
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.Site("m.pub").StoreV(a.data, 42) },
+			func(c *gpu.Ctx, a arena) { c.Site("m.sub").LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "fence.racey.cross-block-fence", class_: "scoped-fences", group: "fence", racey: true,
+		specs: dataRace("fence.cross-block-fence", core.RaceMissingDeviceFence),
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.Site("m.pub").StoreV(a.data, 42); c.Fence(gpu.ScopeBlock) },
+			func(c *gpu.Ctx, a arena) { c.Site("m.sub").LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "fence.ok.cross-device-fence", group: "fence",
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.StoreV(a.data, 42); c.Fence(gpu.ScopeDevice) },
+			func(c *gpu.Ctx, a arena) { c.LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "fence.ok.same-block-fence", group: "fence", sameBlock: true,
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.StoreV(a.data, 42); c.Fence(gpu.ScopeBlock) },
+			func(c *gpu.Ctx, a arena) { c.LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "fence.ok.same-device-fence", group: "fence", sameBlock: true,
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.StoreV(a.data, 42); c.Fence(gpu.ScopeDevice) },
+			func(c *gpu.Ctx, a arena) { c.LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "fence.ok.same-barrier", group: "fence", sameBlock: true,
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role == 0 {
+				c.Store(a.data, 7)
+			}
+			c.SyncThreads()
+			if role == 1 {
+				c.Load(a.data)
+			}
+		},
+	})
+
+	// ------------------------------------------------------------------
+	// Atomics tests: atomic and non-atomic operations on global memory
+	// using varying scopes (Table I).
+	// ------------------------------------------------------------------
+	add(&Micro{
+		name: "atom.racey.block-cross", class_: "scoped-atomics", group: "atomics", racey: true,
+		specs: dataRace("atom.block-cross", core.RaceScopedAtomic),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 8; i++ {
+				c.Site("m.ctr").AtomicAdd(a.data, 1, gpu.ScopeBlock)
+				c.Work(10)
+			}
+		},
+	})
+	add(&Micro{
+		name: "atom.racey.mixed-scope", class_: "scoped-atomics", group: "atomics", racey: true,
+		specs: dataRace("atom.mixed-scope", core.RaceScopedAtomic),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			s := gpu.ScopeBlock
+			if role == 1 {
+				s = gpu.ScopeDevice
+			}
+			for i := 0; i < 8; i++ {
+				c.Site("m.ctr").AtomicAdd(a.data, 1, s)
+				c.Work(10)
+			}
+		},
+	})
+	add(&Micro{
+		name: "atom.racey.block-then-load", class_: "scoped-atomics", group: "atomics", racey: true,
+		specs: dataRace("atom.block-then-load", core.RaceScopedAtomic),
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.Site("m.pub").AtomicExch(a.data, 7, gpu.ScopeBlock) },
+			func(c *gpu.Ctx, a arena) { c.Site("m.sub").LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "atom.racey.store-vs-atomic", class_: "fences", group: "atomics", racey: true,
+		specs: dataRace("atom.store-vs-atomic", core.RaceMissingDeviceFence),
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.Site("m.pub").StoreV(a.data, 3) },
+			func(c *gpu.Ctx, a arena) { c.Site("m.sub").AtomicAdd(a.data, 1, gpu.ScopeDevice) },
+		),
+	})
+	add(&Micro{
+		name: "atom.ok.device-cross", group: "atomics",
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 8; i++ {
+				c.AtomicAdd(a.data, 1, gpu.ScopeDevice)
+				c.Work(10)
+			}
+		},
+	})
+	add(&Micro{
+		name: "atom.ok.block-same", group: "atomics", sameBlock: true,
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 8; i++ {
+				c.AtomicAdd(a.data, 1, gpu.ScopeBlock)
+				c.Work(10)
+			}
+		},
+	})
+	add(&Micro{
+		name: "atom.ok.block-disjoint", group: "atomics",
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			target := a.data
+			if role == 1 {
+				target = a.data2
+			}
+			for i := 0; i < 8; i++ {
+				c.AtomicAdd(target, 1, gpu.ScopeBlock)
+				c.Work(10)
+			}
+		},
+	})
+	add(&Micro{
+		name: "atom.ok.exch-then-atomicread", group: "atomics",
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.AtomicExch(a.data, 5, gpu.ScopeDevice) },
+			func(c *gpu.Ctx, a arena) { c.AtomicAdd(a.data, 0, gpu.ScopeDevice) },
+		),
+	})
+	add(&Micro{
+		name: "atom.ok.atomic-then-load", group: "atomics",
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { c.AtomicExch(a.data, 5, gpu.ScopeDevice); c.Fence(gpu.ScopeDevice) },
+			func(c *gpu.Ctx, a arena) { c.LoadV(a.data) },
+		),
+	})
+
+	// ------------------------------------------------------------------
+	// Lock/unlock tests: loads/stores on global memory with or without
+	// lock/unlock (acquire/release) of varying scopes; the required
+	// __threadfence may also be missing (Table I).
+	// ------------------------------------------------------------------
+	csKinds := kinds(core.RaceMissingDeviceFence, core.RaceMissingBlockFence,
+		core.RaceNotStrong, core.RaceMissingLockLoad, core.RaceMissingLockStore)
+
+	lockedInc := func(c *gpu.Ctx, a arena, l mem.Addr) {
+		scor.SpinLock(c, l, gpu.ScopeDevice, gpu.ScopeDevice)
+		csInc(c, a)
+		scor.Unlock(c, l, gpu.ScopeDevice, gpu.ScopeDevice)
+	}
+
+	add(&Micro{
+		name: "lock.racey.none-cross", class_: "fences", group: "lock", racey: true,
+		specs: dataRace("lock.none-cross", csKinds...),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				csInc(c, a)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.none-same", class_: "fences", group: "lock", racey: true, sameBlock: true,
+		specs: dataRace("lock.none-same", core.RaceMissingBlockFence, core.RaceNotStrong),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				csInc(c, a)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.store-unlocked", class_: "locks", group: "lock", racey: true,
+		specs: dataRace("lock.store-unlocked", core.RaceMissingLockLoad, core.RaceMissingLockStore),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				if role == 0 {
+					lockedInc(c, a, a.lockA)
+				} else {
+					csInc(c, a)
+				}
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.load-unlocked", class_: "locks", group: "lock", racey: true,
+		specs: dataRace("lock.load-unlocked", core.RaceMissingLockLoad),
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) { lockedInc(c, a, a.lockA) },
+			func(c *gpu.Ctx, a arena) { c.Site("m.reader").LoadV(a.data) },
+		),
+	})
+	add(&Micro{
+		name: "lock.racey.different-locks", class_: "locks", group: "lock", racey: true,
+		specs: dataRace("lock.different-locks", core.RaceMissingLockLoad, core.RaceMissingLockStore),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			l := a.lockA
+			if role == 1 {
+				l = a.lockB
+			}
+			for i := 0; i < 4; i++ {
+				lockedInc(c, a, l)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.block-lock-cross", class_: "scoped-atomics", group: "lock", racey: true,
+		specs: lockRace("lock.block-lock-cross"),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				scor.SpinLock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeBlock)
+				csInc(c, a)
+				scor.Unlock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeBlock)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.cas-block-exch-dev", class_: "scoped-atomics", group: "lock", racey: true,
+		specs: lockRace("lock.cas-block-exch-dev"),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				scor.SpinLock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeDevice)
+				csInc(c, a)
+				scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.exch-block", class_: "locks", group: "lock", racey: true,
+		specs: append(lockRace("lock.exch-block"),
+			scor.RaceSpec{ID: "lock.exch-block", Alloc: "m.data", Kinds: csKinds}),
+		kern: producerConsumer(
+			func(c *gpu.Ctx, a arena) {
+				scor.SpinLock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				csInc(c, a)
+				// Release with a block-scope Exch: other blocks never see
+				// the lock freed.
+				scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeBlock)
+			},
+			func(c *gpu.Ctx, a arena) {
+				// Bounded acquire fails (the release was SM-local), and
+				// the "programmer" barges into the critical section.
+				for i := 0; i < 3; i++ {
+					if c.Site("m.lock.try").AtomicCAS(a.lockA, 0, 1, gpu.ScopeDevice) == 0 {
+						c.Fence(gpu.ScopeDevice)
+						break
+					}
+					c.Work(20)
+				}
+				csInc(c, a)
+			},
+		),
+	})
+	add(&Micro{
+		name: "lock.racey.acq-fence-missing", class_: "locks", group: "lock", racey: true,
+		specs: dataRace("lock.acq-fence-missing", core.RaceNotStrong, core.RaceMissingLockLoad, core.RaceMissingLockStore),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				scor.SpinLockNoFence(c, a.lockA, gpu.ScopeDevice)
+				csInc(c, a)
+				scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.acq-fence-block", class_: "scoped-fences", group: "lock", racey: true,
+		specs: dataRace("lock.acq-fence-block", core.RaceNotStrong, core.RaceMissingLockLoad, core.RaceMissingLockStore),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				scor.SpinLock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeBlock)
+				csInc(c, a)
+				scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.one-side-fence-missing", class_: "locks", group: "lock", racey: true,
+		specs: dataRace("lock.one-side-fence-missing", core.RaceNotStrong, core.RaceMissingLockLoad, core.RaceMissingLockStore),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				if role == 0 {
+					lockedInc(c, a, a.lockA)
+				} else {
+					scor.SpinLockNoFence(c, a.lockA, gpu.ScopeDevice)
+					csInc(c, a)
+					scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				}
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.racey.block-lock-outside-reader", class_: "locks", group: "lock", racey: true,
+		specs: dataRace("lock.block-lock-outside-reader", core.RaceMissingLockLoad, core.RaceMissingDeviceFence),
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			if role == 0 {
+				for i := 0; i < 4; i++ {
+					scor.SpinLock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeBlock)
+					csInc(c, a)
+					scor.Unlock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeBlock)
+					c.Work(15)
+				}
+				scor.Signal(c, a.flag)
+			} else {
+				scor.WaitFlag(c, a.flag, 1)
+				c.Site("m.reader").LoadV(a.data)
+			}
+		},
+	})
+
+	add(&Micro{
+		name: "lock.ok.device-cross", group: "lock",
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				lockedInc(c, a, a.lockA)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.ok.block-same", group: "lock", sameBlock: true,
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				scor.SpinLock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeBlock)
+				csInc(c, a)
+				scor.Unlock(c, a.lockA, gpu.ScopeBlock, gpu.ScopeBlock)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.ok.nested", group: "lock",
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 3; i++ {
+				scor.SpinLock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				scor.SpinLock(c, a.lockB, gpu.ScopeDevice, gpu.ScopeDevice)
+				csInc(c, a)
+				scor.Unlock(c, a.lockB, gpu.ScopeDevice, gpu.ScopeDevice)
+				scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.ok.disjoint", group: "lock",
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			l, target := a.lockA, a.data
+			if role == 1 {
+				l, target = a.lockB, a.data2
+			}
+			for i := 0; i < 4; i++ {
+				scor.SpinLock(c, l, gpu.ScopeDevice, gpu.ScopeDevice)
+				v := c.Load(target)
+				c.Store(target, v+1)
+				scor.Unlock(c, l, gpu.ScopeDevice, gpu.ScopeDevice)
+				c.Work(15)
+			}
+		},
+	})
+	add(&Micro{
+		name: "lock.ok.volatile-data", group: "lock",
+		kern: func(c *gpu.Ctx, a arena, role int) {
+			for i := 0; i < 4; i++ {
+				scor.SpinLock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				v := c.LoadV(a.data)
+				c.StoreV(a.data, v+1)
+				scor.Unlock(c, a.lockA, gpu.ScopeDevice, gpu.ScopeDevice)
+				c.Work(15)
+			}
+		},
+	})
+
+	return ms
+}
+
+// Benchmarks adapts the microbenchmarks to the scor.Benchmark interface.
+func Benchmarks() []scor.Benchmark {
+	ms := All()
+	out := make([]scor.Benchmark, len(ms))
+	for i, m := range ms {
+		out[i] = m
+	}
+	return out
+}

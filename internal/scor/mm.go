@@ -1,0 +1,188 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// MM is the Matrix Multiplication benchmark of Table II: C = A x B with a
+// split-K decomposition, so several blocks accumulate partial products into
+// the same C rows under per-row device-scope locks built from the
+// atomicCAS + fence acquire pattern and the fence + atomicExch release
+// pattern (Figure 5's locking idiom).
+//
+// Injections:
+//   - "lock-scope":    the whole lock uses block scope — a scoped lock race
+//     (detected as a scoped-atomic race on the lock variable).
+//   - "acquire-fence": the acquire's fence is omitted — critical-section
+//     accesses race (weak accesses, so the fence path flags them).
+//   - "fence-scope":   the acquire's fence is block-scope on a device lock —
+//     the lock never activates, a missing-common-lock race.
+//   - "unlocked":      one block skips locking entirely.
+type MM struct {
+	M, K, N   int
+	RowGroups int // blocks along M
+	KSlices   int // blocks along K (these contend per C row)
+	TPB       int
+}
+
+// NewMM returns the benchmark at its default scaled-down size.
+func NewMM() *MM { return &MM{M: 64, K: 48, N: 32, RowGroups: 8, KSlices: 4, TPB: 128} }
+
+// Name implements Benchmark.
+func (m *MM) Name() string { return "MM" }
+
+// Injections implements Benchmark.
+func (m *MM) Injections() []string {
+	return []string{"lock-scope", "acquire-fence", "fence-scope", "unlocked"}
+}
+
+// ExpectedRaces implements Benchmark.
+func (m *MM) ExpectedRaces(active []string) []RaceSpec {
+	var specs []RaceSpec
+	if has(active, "lock-scope") {
+		specs = append(specs, RaceSpec{
+			ID:    "mm.lock.block-scope",
+			Alloc: "mm.locks",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	if has(active, "acquire-fence") {
+		specs = append(specs, RaceSpec{
+			ID:    "mm.cs.acquire-fence-missing",
+			Alloc: "mm.C",
+			Kinds: []core.RaceKind{core.RaceNotStrong, core.RaceMissingDeviceFence, core.RaceMissingLockLoad, core.RaceMissingLockStore},
+		})
+	}
+	if has(active, "fence-scope") {
+		specs = append(specs, RaceSpec{
+			ID:    "mm.cs.acquire-fence-block",
+			Alloc: "mm.C",
+			Kinds: []core.RaceKind{core.RaceNotStrong, core.RaceMissingDeviceFence, core.RaceMissingLockLoad, core.RaceMissingLockStore},
+		})
+	}
+	if has(active, "unlocked") {
+		specs = append(specs, RaceSpec{
+			ID:    "mm.cs.unlocked-block",
+			Alloc: "mm.C",
+			Kinds: []core.RaceKind{core.RaceMissingLockLoad, core.RaceMissingLockStore, core.RaceNotStrong, core.RaceMissingDeviceFence},
+		})
+	}
+	return specs
+}
+
+// Run implements Benchmark.
+func (m *MM) Run(d *gpu.Device, active []string) error {
+	validateInjections(m, active)
+	if m.M%m.RowGroups != 0 || m.K%m.KSlices != 0 {
+		return fmt.Errorf("mm: geometry %dx%d not divisible by %dx%d blocks", m.M, m.K, m.RowGroups, m.KSlices)
+	}
+	warps := m.TPB / d.Config().WarpSize
+	rowsPerBlock := m.M / m.RowGroups
+	if rowsPerBlock%warps != 0 {
+		return fmt.Errorf("mm: %d rows/block not divisible by %d warps", rowsPerBlock, warps)
+	}
+
+	a := d.Alloc("mm.A", m.M*m.K)
+	b := d.Alloc("mm.B", m.K*m.N)
+	cOut := d.Alloc("mm.C", m.M*m.N)
+	locks := d.Alloc("mm.locks", m.M)
+
+	rng := newRNG(d, 0x33)
+	av := make([]uint32, m.M*m.K)
+	bv := make([]uint32, m.K*m.N)
+	for i := range av {
+		av[i] = uint32(rng.Intn(64))
+	}
+	for i := range bv {
+		bv[i] = uint32(rng.Intn(64))
+	}
+	d.Mem().HostWrite(a, av)
+	d.Mem().HostWrite(b, bv)
+
+	casScope, fenceScope := gpu.ScopeDevice, gpu.ScopeDevice
+	acquireFence := true
+	switch {
+	case has(active, "lock-scope"):
+		casScope, fenceScope = gpu.ScopeBlock, gpu.ScopeBlock
+	case has(active, "fence-scope"):
+		fenceScope = gpu.ScopeBlock
+	}
+	if has(active, "acquire-fence") {
+		acquireFence = false
+	}
+	unlocked := has(active, "unlocked")
+
+	kslice := m.K / m.KSlices
+	rowsPerWarp := rowsPerBlock / warps
+
+	err := d.Launch("mm.multiply", m.RowGroups*m.KSlices, m.TPB, func(c *gpu.Ctx) {
+		rowGroup := c.Block / m.KSlices
+		ks := c.Block % m.KSlices
+		k0 := ks * kslice
+		// The "unlocked" injection makes exactly block 0 skip locking; it
+		// contends with the other K-slice blocks of row group 0.
+		skipLock := unlocked && c.Block == 0
+		partial := make([]uint32, m.N)
+
+		for wr := 0; wr < rowsPerWarp; wr++ {
+			row := rowGroup*rowsPerBlock + c.Warp*rowsPerWarp + wr
+			// Partial dot products over this block's K slice (read-only
+			// inputs, weak coalesced loads).
+			arow := c.LoadVec(c.Seq(a+mem.Addr((row*m.K+k0)*4), kslice), false)
+			arow = append([]uint32(nil), arow...)
+			for j := range partial {
+				partial[j] = 0
+			}
+			for kk := 0; kk < kslice; kk++ {
+				brow := c.LoadVec(c.Seq(b+mem.Addr(((k0+kk)*m.N)*4), m.N), false)
+				for j := 0; j < m.N; j++ {
+					partial[j] += arow[kk] * brow[j]
+				}
+				c.Work(m.N / 8)
+			}
+
+			// Accumulate into C[row][*] under the per-row lock.
+			lockAddr := locks + mem.Addr(row*4)
+			if !skipLock {
+				c.Site("mm.lock.acquire")
+				if acquireFence {
+					SpinLock(c, lockAddr, casScope, fenceScope)
+				} else {
+					SpinLockNoFence(c, lockAddr, casScope)
+				}
+			}
+			rowBase := cOut + mem.Addr(row*m.N*4)
+			cur := c.Site("mm.cs.load").LoadVec(c.Seq(rowBase, m.N), false)
+			for j := 0; j < m.N; j++ {
+				partial[j] += cur[j]
+			}
+			c.Site("mm.cs.store").StoreVec(c.Seq(rowBase, m.N), partial, false)
+			if !skipLock {
+				c.Site("mm.lock.release")
+				Unlock(c, lockAddr, gpu.ScopeDevice, casScope)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(active) == 0 {
+		for i := 0; i < m.M; i++ {
+			for j := 0; j < m.N; j++ {
+				var want uint32
+				for k := 0; k < m.K; k++ {
+					want += av[i*m.K+k] * bv[k*m.N+j]
+				}
+				if got := d.Mem().Read(cOut + mem.Addr((i*m.N+j)*4)); got != want {
+					return fmt.Errorf("mm: C[%d][%d] = %d, want %d", i, j, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}

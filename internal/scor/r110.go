@@ -1,0 +1,184 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// R110 is the Rule 110 Cellular Automata benchmark of Table II: a ring of
+// cells advanced for several iterations. Cells interior to a block are
+// exchanged through weak stores ordered by the block barrier; the two
+// border cells of every block are published through a separate volatile
+// border array with a device-scope fence and a per-block iteration flag,
+// because neighbouring blocks consume them ("scope of fence used after
+// iteration depends whether the element lies on the border of a block").
+//
+// Injections:
+//   - "fence":  border publication uses a block-scope fence — a scoped
+//     fence race on the border arrays.
+//   - "atomic": iteration flags advance with block-scope atomics — a
+//     scoped atomic race on the flags (and neighbours time out reading
+//     stale borders).
+type R110 struct {
+	N      int
+	Blocks int
+	TPB    int
+	Iters  int
+}
+
+// NewR110 returns the benchmark at its default scaled-down size.
+func NewR110() *R110 { return &R110{N: 65536, Blocks: 16, TPB: 256, Iters: 6} }
+
+// Name implements Benchmark.
+func (r *R110) Name() string { return "R110" }
+
+// Injections implements Benchmark.
+func (r *R110) Injections() []string { return []string{"fence", "atomic"} }
+
+// ExpectedRaces implements Benchmark.
+func (r *R110) ExpectedRaces(active []string) []RaceSpec {
+	var specs []RaceSpec
+	if has(active, "fence") {
+		specs = append(specs, RaceSpec{
+			ID:    "r110.border.block-fence",
+			Alloc: "r110.borders",
+			Kinds: []core.RaceKind{core.RaceMissingDeviceFence},
+		})
+	}
+	if has(active, "atomic") {
+		specs = append(specs, RaceSpec{
+			ID:    "r110.iter.block-atomic",
+			Alloc: "r110.iter",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	return specs
+}
+
+func rule110(l, c, r uint32) uint32 {
+	return (0b01101110 >> ((l&1)<<2 | (c&1)<<1 | r&1)) & 1
+}
+
+// Run implements Benchmark.
+func (r *R110) Run(d *gpu.Device, active []string) error {
+	validateInjections(r, active)
+	ws := d.Config().WarpSize
+	warps := r.TPB / ws
+	chunk := r.N / r.Blocks
+	if r.N%r.Blocks != 0 || chunk%warps != 0 || (chunk/warps)%ws != 0 {
+		return fmt.Errorf("r110: N=%d does not tile into %d blocks x %d warps", r.N, r.Blocks, warps)
+	}
+	perWarp := chunk / warps
+
+	cells := [2]mem.Addr{d.Alloc("r110.cellsA", r.N), d.Alloc("r110.cellsB", r.N)}
+	// borders[buf][block][0]=left cell value, [1]=right cell value.
+	borders := [2]mem.Addr{d.Alloc("r110.bordersA", 2*r.Blocks), d.Alloc("r110.bordersB", 2*r.Blocks)}
+	iterFlags := d.Alloc("r110.iter", r.Blocks)
+
+	rng := newRNG(d, 0x110)
+	init := make([]uint32, r.N)
+	for i := range init {
+		init[i] = uint32(rng.Intn(2))
+	}
+	d.Mem().HostWrite(cells[0], init)
+	initBorders := make([]uint32, 2*r.Blocks)
+	for b := 0; b < r.Blocks; b++ {
+		initBorders[2*b] = init[b*chunk]
+		initBorders[2*b+1] = init[b*chunk+chunk-1]
+	}
+	d.Mem().HostWrite(borders[0], initBorders)
+
+	fenceScope := gpu.ScopeDevice
+	if has(active, "fence") {
+		fenceScope = gpu.ScopeBlock
+	}
+	flagScope := gpu.ScopeDevice
+	if has(active, "atomic") {
+		flagScope = gpu.ScopeBlock
+	}
+
+	err := d.Launch("r110.evolve", r.Blocks, r.TPB, func(c *gpu.Ctx) {
+		b0 := c.Block * chunk
+		s := b0 + c.Warp*perWarp
+		leftNb := (c.Block + r.Blocks - 1) % r.Blocks
+		rightNb := (c.Block + 1) % r.Blocks
+		out := make([]uint32, perWarp)
+
+		for t := 0; t < r.Iters; t++ {
+			cur, nxt := cells[t%2], cells[(t+1)%2]
+			bCur, bNxt := borders[t%2], borders[(t+1)%2]
+
+			// Edge warps wait for their neighbour's previous iteration to
+			// be published before reading its border cell. Bounded so the
+			// "atomic" injection degrades instead of hanging.
+			var left, right uint32
+			if c.Warp == 0 {
+				c.Site("r110.wait.left")
+				waitAtLeastBounded(c, iterFlags+mem.Addr(leftNb*4), uint32(t), 400)
+				left = c.Site("r110.halo.left").LoadV(bCur + mem.Addr((2*leftNb+1)*4))
+			} else {
+				left = c.Load(cur + mem.Addr((s-1)*4))
+			}
+			if c.Warp == c.Warps-1 {
+				c.Site("r110.wait.right")
+				waitAtLeastBounded(c, iterFlags+mem.Addr(rightNb*4), uint32(t), 400)
+				right = c.Site("r110.halo.right").LoadV(bCur + mem.Addr(2*rightNb*4))
+			} else {
+				right = c.Load(cur + mem.Addr((s+perWarp)*4))
+			}
+
+			vals := c.Site("r110.cells.load").LoadVec(c.Seq(cur+mem.Addr(s*4), perWarp), false)
+			prev := left
+			for i := 0; i < perWarp; i++ {
+				nb := right
+				if i+1 < perWarp {
+					nb = vals[i+1]
+				}
+				out[i] = rule110(prev, vals[i], nb)
+				prev = vals[i]
+			}
+			c.Work(perWarp / 8)
+			c.Site("r110.cells.store").StoreVec(c.Seq(nxt+mem.Addr(s*4), perWarp), out, false)
+
+			// Edge warps publish the block's new border cells with the
+			// required device-scope fence.
+			if c.Warp == 0 {
+				c.Site("r110.border.store").StoreV(bNxt+mem.Addr(2*c.Block*4), out[0])
+				c.Fence(fenceScope)
+			}
+			if c.Warp == c.Warps-1 {
+				c.Site("r110.border.store").StoreV(bNxt+mem.Addr((2*c.Block+1)*4), out[perWarp-1])
+				c.Fence(fenceScope)
+			}
+			c.SyncThreads()
+			if c.Warp == 0 {
+				c.Site("r110.iter.bump").AtomicAdd(iterFlags+mem.Addr(c.Block*4), 1, flagScope)
+			}
+			c.SyncThreads()
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(active) == 0 {
+		want := append([]uint32(nil), init...)
+		next := make([]uint32, r.N)
+		for t := 0; t < r.Iters; t++ {
+			for i := 0; i < r.N; i++ {
+				next[i] = rule110(want[(i+r.N-1)%r.N], want[i], want[(i+1)%r.N])
+			}
+			want, next = next, want
+		}
+		got := d.Mem().HostRead(cells[r.Iters%2], r.N)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("r110: cell %d = %d, want %d after %d iters", i, got[i], want[i], r.Iters)
+			}
+		}
+	}
+	return nil
+}

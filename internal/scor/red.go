@@ -1,0 +1,141 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// RED is the Reduction benchmark of Table II (derived from CUDA's
+// threadfenceReduction sample, Figure 4 of the paper): every block reduces
+// a chunk of a large array, publishes its partial sum with a device-scope
+// fence, and the last block to arrive reduces the per-block sums.
+//
+// Injections:
+//   - "fence":  the partial-sum publish uses a block-scope fence — a scoped
+//     fence race on g_odata (Figure 4's discussed bug).
+//   - "atomic": the last-block arrival counter uses a block-scope atomic —
+//     a scoped atomic race on the counter.
+type RED struct {
+	N      int // elements (multiple of Blocks*Threads)
+	Blocks int
+	TPB    int // threads per block
+}
+
+// NewRED returns the benchmark at its default scaled-down size.
+func NewRED() *RED { return &RED{N: 1 << 17, Blocks: 32, TPB: 256} }
+
+// Name implements Benchmark.
+func (r *RED) Name() string { return "RED" }
+
+// Injections implements Benchmark.
+func (r *RED) Injections() []string { return []string{"fence", "atomic"} }
+
+// ExpectedRaces implements Benchmark.
+func (r *RED) ExpectedRaces(active []string) []RaceSpec {
+	var specs []RaceSpec
+	if has(active, "fence") {
+		specs = append(specs, RaceSpec{
+			ID:    "red.publish.block-fence",
+			Alloc: "red.g_odata",
+			Kinds: []core.RaceKind{core.RaceMissingDeviceFence},
+		})
+	}
+	if has(active, "atomic") {
+		specs = append(specs, RaceSpec{
+			ID:    "red.arrive.block-atomic",
+			Alloc: "red.counter",
+			Kinds: []core.RaceKind{core.RaceScopedAtomic},
+		})
+	}
+	return specs
+}
+
+// Run implements Benchmark.
+func (r *RED) Run(d *gpu.Device, active []string) error {
+	validateInjections(r, active)
+	warps := r.TPB / d.Config().WarpSize
+	if r.N%(r.Blocks*warps*d.Config().WarpSize) != 0 {
+		return fmt.Errorf("red: N=%d not divisible by grid", r.N)
+	}
+
+	in := d.Alloc("red.input", r.N)
+	warpSums := d.Alloc("red.warpSums", r.Blocks*warps)
+	gOdata := d.Alloc("red.g_odata", r.Blocks)
+	counter := d.Alloc("red.counter", 1)
+	result := d.Alloc("red.result", 1)
+
+	var want uint32
+	vals := make([]uint32, r.N)
+	rng := newRNG(d, 0x9ed)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(1000))
+		want += vals[i]
+	}
+	d.Mem().HostWrite(in, vals)
+
+	perWarp := r.N / (r.Blocks * warps)
+	fenceScope := gpu.ScopeDevice
+	if has(active, "fence") {
+		fenceScope = gpu.ScopeBlock
+	}
+	arriveScope := gpu.ScopeDevice
+	if has(active, "atomic") {
+		arriveScope = gpu.ScopeBlock
+	}
+
+	err := d.Launch("red.reduce", r.Blocks, r.TPB, func(c *gpu.Ctx) {
+		ws := c.WarpSize
+		// Phase 1: each warp reduces its slice with coalesced weak loads
+		// (the input is read-only after host initialization).
+		base := in + mem.Addr(c.GlobalWarp()*perWarp*4)
+		var sum uint32
+		for off := 0; off < perWarp; off += ws {
+			for _, v := range c.LoadVec(c.Seq(base+mem.Addr(off*4), ws), false) {
+				sum += v
+			}
+			c.Work(10) // address arithmetic and the adds
+		}
+		// Per-warp partials are consumed by warp 0 after the barrier.
+		c.Site("red.warpSum.store").Store(warpSums+mem.Addr((c.Block*c.Warps+c.Warp)*4), sum)
+		c.SyncThreads()
+
+		if c.Warp != 0 {
+			return
+		}
+		// Phase 2: warp 0 folds the block's partials and publishes.
+		total := uint32(0)
+		for _, v := range c.Site("red.warpSum.load").LoadVec(c.Seq(warpSums+mem.Addr(c.Block*c.Warps*4), c.Warps), false) {
+			total += v
+		}
+		c.Site("red.publish").StoreV(gOdata+mem.Addr(c.Block*4), total)
+		c.Fence(fenceScope) // device scope required: the consumer is another block
+		c.Site("red.arrive").AtomicAdd(counter, 1, arriveScope)
+
+		// Phase 3: the highest block waits for every block's arrival and
+		// reduces the per-block sums. The wait is bounded so the "atomic"
+		// injection (which strands the counter in per-SM L1s) degrades
+		// the result instead of hanging.
+		if c.Block == c.Blocks-1 {
+			c.Site("red.arrive.wait")
+			waitAtLeastBounded(c, counter, uint32(c.Blocks), 500)
+			final := uint32(0)
+			for _, v := range c.Site("red.final").LoadVec(c.Seq(gOdata, c.Blocks), true) {
+				final += v
+			}
+			c.StoreV(result, final)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(active) == 0 {
+		if got := d.Mem().Read(result); got != want {
+			return fmt.Errorf("red: result %d, want %d", got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package scor
+
+import "fmt"
+
+// Scale multiplies a benchmark's input size by f (>= 1), preserving grid
+// geometry and divisibility. Scaling toward the paper's input sizes
+// lengthens simulations roughly linearly; scale the device memory arena
+// alongside (Config.DeviceMemBytes) to keep the metadata cache in the same
+// folded regime. Microbenchmarks are fixed-size and are returned
+// unchanged.
+func Scale(b Benchmark, f int) error {
+	if f < 1 {
+		return fmt.Errorf("scor: scale factor %d < 1", f)
+	}
+	if f == 1 {
+		return nil
+	}
+	switch app := b.(type) {
+	case *RED:
+		app.N *= f
+	case *MM:
+		app.M *= f
+		app.N *= f
+	case *R110:
+		app.N *= f
+	case *GCOL:
+		app.V *= f
+		app.E *= f
+	case *GCON:
+		app.V *= f
+		app.E *= f
+	case *Conv1D:
+		app.N *= f
+	case *UTS:
+		app.Roots *= f
+		app.CapL *= f
+		app.CapG *= f
+	default:
+		// Microbenchmarks and unknown benchmarks keep their fixed size.
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package scor
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+)
+
+// TestScaledAppsStillVerify: a scaled benchmark remains functionally
+// correct and detector-clean (divisibility preserved).
+func TestScaledAppsStillVerify(t *testing.T) {
+	for _, b := range []Benchmark{NewRED(), NewR110(), NewConv1D()} {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			if err := Scale(b, 2); err != nil {
+				t.Fatal(err)
+			}
+			cfg := config.Default().WithDetector(config.ModeFull4B)
+			cfg.DeviceMemBytes *= 2
+			d, err := gpu.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Run(d, nil); err != nil {
+				t.Fatalf("scaled run: %v", err)
+			}
+			if n := len(d.Races()); n != 0 {
+				t.Fatalf("%d false positives at scale 2", n)
+			}
+		})
+	}
+}
+
+// TestScaleValidation rejects nonsense factors and leaves factor 1 alone.
+func TestScaleValidation(t *testing.T) {
+	if err := Scale(NewRED(), 0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	r := NewRED()
+	n := r.N
+	if err := Scale(r, 1); err != nil || r.N != n {
+		t.Fatal("scale 1 changed the benchmark")
+	}
+}

@@ -1,0 +1,67 @@
+package scor_test
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/scor"
+)
+
+// TestSuiteAcrossSeeds re-runs the applications at different workload
+// seeds: correct configurations must stay functionally correct and
+// detector-clean, and the interleaving-dependent work-stealing injections
+// must still be caught. This guards against the suite's detection results
+// depending on one lucky input.
+func TestSuiteAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []int64{2, 3, 17} {
+		for _, b := range scor.Apps() {
+			b, seed := b, seed
+			t.Run(b.Name()+"/clean", func(t *testing.T) {
+				cfg := config.Default().WithDetector(config.ModeFull4B)
+				cfg.Seed = seed
+				d, err := gpu.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Run(d, nil); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, r := range d.Races() {
+					t.Errorf("seed %d false positive: %s", seed, d.DescribeRecord(r))
+				}
+			})
+		}
+		// The most interleaving-sensitive injections.
+		sensitive := []struct {
+			b   scor.Benchmark
+			inj string
+		}{
+			{scor.NewGCOL(), "own-atomic"},
+			{scor.NewGCOL(), "steal-atomic"},
+			{scor.NewGCON(), "own-atomic"},
+			{scor.NewUTS(), "glock-cas-block"},
+		}
+		for _, s := range sensitive {
+			s, seed := s, seed
+			t.Run(s.b.Name()+"/"+s.inj, func(t *testing.T) {
+				cfg := config.Default().WithDetector(config.ModeFull4B)
+				cfg.Seed = seed
+				d, err := gpu.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.b.Run(d, []string{s.inj}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				res := scor.MatchRaces(d, s.b.ExpectedRaces([]string{s.inj}))
+				if len(res.Missed) > 0 {
+					t.Errorf("seed %d missed: %v", seed, res.Missed)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package scor_test
+
+import (
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+)
+
+func runBench(t *testing.T, b scor.Benchmark, mode config.DetectorMode, active []string) (*gpu.Device, scor.MatchResult) {
+	t.Helper()
+	cfg := config.Default().WithDetector(mode)
+	d, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatalf("gpu.New: %v", err)
+	}
+	if err := b.Run(d, active); err != nil {
+		t.Fatalf("%s run (injections %v): %v", b.Name(), active, err)
+	}
+	return d, scor.MatchRaces(d, b.ExpectedRaces(active))
+}
+
+// TestAppsCorrectAndClean: with no injections, every application verifies
+// its output and the base detector reports zero races (no false
+// positives) — the precondition for Table VII's ScoRD row.
+func TestAppsCorrectAndClean(t *testing.T) {
+	for _, b := range scor.Apps() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			d, res := runBench(t, b, config.ModeFull4B, nil)
+			for _, r := range res.FalsePos {
+				t.Errorf("false positive: %s", d.DescribeRecord(r))
+			}
+		})
+	}
+}
+
+// TestAppsAllInjectionsCaught: with every injection active, the base
+// detector catches each expected unique race (Table VI's base-design
+// column) with no false positives.
+func TestAppsAllInjectionsCaught(t *testing.T) {
+	for _, b := range scor.Apps() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			d, res := runBench(t, b, config.ModeFull4B, b.Injections())
+			if len(res.Missed) > 0 {
+				t.Errorf("missed races: %v (caught %v, %d records)", res.Missed, res.Caught, res.AllRecords)
+				for i, r := range d.Races() {
+					if i > 14 {
+						break
+					}
+					t.Logf("record: %s", d.DescribeRecord(r))
+				}
+			}
+			for _, r := range res.FalsePos {
+				t.Errorf("false positive: %s", d.DescribeRecord(r))
+			}
+		})
+	}
+}
+
+// TestAppsSingleInjection: each injection individually produces exactly
+// its own expected race and nothing unexpected.
+func TestAppsSingleInjection(t *testing.T) {
+	for _, b := range scor.Apps() {
+		for _, inj := range b.Injections() {
+			b, inj := b, inj
+			t.Run(b.Name()+"/"+inj, func(t *testing.T) {
+				d, res := runBench(t, b, config.ModeFull4B, []string{inj})
+				if len(res.Missed) > 0 {
+					t.Errorf("missed: %v (%d records)", res.Missed, res.AllRecords)
+					for i, r := range d.Races() {
+						if i > 14 {
+							break
+						}
+						t.Logf("record: %s", d.DescribeRecord(r))
+					}
+				}
+				for _, r := range res.FalsePos {
+					t.Errorf("false positive: %s", d.DescribeRecord(r))
+				}
+			})
+		}
+	}
+}
+
+// TestMicrobenchmarksCached: ScoRD's software-cached metadata detects the
+// same 18 races with the same zero false positives on the microbenchmarks
+// (their footprints are tiny, so no aliasing occurs).
+func TestMicrobenchmarksCached(t *testing.T) {
+	for _, m := range micro.All() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			d, res := runBench(t, m, config.ModeCached, nil)
+			if len(res.Missed) > 0 {
+				t.Errorf("missed: %v", res.Missed)
+			}
+			for _, r := range res.FalsePos {
+				t.Errorf("false positive: %s", d.DescribeRecord(r))
+			}
+		})
+	}
+}
+
+// TestMicrobenchmarks: each of the 32 microbenchmarks behaves as labelled
+// under the base detector: racey ones report exactly their race, non-racey
+// ones report nothing.
+func TestMicrobenchmarks(t *testing.T) {
+	ms := micro.All()
+	if len(ms) != 32 {
+		t.Fatalf("suite has %d microbenchmarks, want 32", len(ms))
+	}
+	racey := 0
+	groups := map[string]int{}
+	for _, m := range ms {
+		if m.Racey() {
+			racey++
+		}
+		groups[m.Group()]++
+	}
+	if racey != 18 {
+		t.Errorf("suite has %d racey microbenchmarks, want 18 (Table I)", racey)
+	}
+	if groups["fence"] != 6 || groups["atomics"] != 9 || groups["lock"] != 17 {
+		t.Errorf("group sizes %v, want fence=6 atomics=9 lock=17", groups)
+	}
+
+	for _, m := range ms {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			d, res := runBench(t, m, config.ModeFull4B, nil)
+			if len(res.Missed) > 0 {
+				t.Errorf("missed: %v (%d records)", res.Missed, res.AllRecords)
+				for _, r := range d.Races() {
+					t.Logf("record: %s", d.DescribeRecord(r))
+				}
+			}
+			for _, r := range res.FalsePos {
+				t.Errorf("false positive: %s", d.DescribeRecord(r))
+			}
+		})
+	}
+}

@@ -1,0 +1,343 @@
+package scor
+
+import (
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// UTS is the Unbalanced Tree Search benchmark of Table II (Figure 5 of the
+// paper): trees are expanded from roots kept on per-block stacks, with the
+// number of children of a node decided by a hash function. Each block owns
+// a local stack protected by a block-scope lock and a global stack
+// protected by a device-scope lock; warps prefer their local stack and
+// steal from any global stack when idle. Termination uses a device-scope
+// pending-node counter.
+//
+// Injections (6):
+//   - "glock-cas-block":   global-lock CAS uses block scope
+//   - "glock-exch-block":  global-lock release Exch uses block scope
+//   - "gacq-fence-missing": global-lock acquire omits its fence
+//   - "gacq-fence-block":  global-lock acquire fence is block-scope
+//   - "steal-unlocked":    stealing pops skip the global lock entirely
+//   - "counter-block":     the pending counter uses block-scope atomics
+type UTS struct {
+	Blocks   int
+	TPB      int
+	Roots    int
+	MaxDepth int
+	CapL     int // local stack capacity (nodes per block)
+	CapG     int // global stack capacity (nodes per block)
+	Patience int // idle loop iterations before a warp gives up
+}
+
+// NewUTS returns the benchmark at its default scaled-down size.
+func NewUTS() *UTS {
+	return &UTS{Blocks: 16, TPB: 64, Roots: 48, MaxDepth: 7, CapL: 2048, CapG: 512, Patience: 300}
+}
+
+// Name implements Benchmark.
+func (u *UTS) Name() string { return "UTS" }
+
+// Injections implements Benchmark.
+func (u *UTS) Injections() []string {
+	return []string{"glock-cas-block", "glock-exch-block", "gacq-fence-missing",
+		"gacq-fence-block", "steal-unlocked", "counter-block"}
+}
+
+// ExpectedRaces implements Benchmark.
+func (u *UTS) ExpectedRaces(active []string) []RaceSpec {
+	lockKinds := []core.RaceKind{core.RaceScopedAtomic}
+	csKinds := []core.RaceKind{core.RaceNotStrong, core.RaceMissingDeviceFence,
+		core.RaceMissingBlockFence, core.RaceMissingLockLoad, core.RaceMissingLockStore}
+	var specs []RaceSpec
+	addCS := func(id string) {
+		specs = append(specs,
+			RaceSpec{ID: id, Alloc: "uts.gtop", Kinds: csKinds},
+			RaceSpec{ID: id, Alloc: "uts.gitems", Kinds: csKinds})
+	}
+	if has(active, "glock-cas-block") {
+		specs = append(specs, RaceSpec{ID: "uts.glock.cas-block", Alloc: "uts.glock", Kinds: lockKinds})
+	}
+	if has(active, "glock-exch-block") {
+		specs = append(specs, RaceSpec{ID: "uts.glock.exch-block", Alloc: "uts.glock", Kinds: lockKinds})
+	}
+	if has(active, "gacq-fence-missing") {
+		addCS("uts.gacq.fence-missing")
+	}
+	if has(active, "gacq-fence-block") {
+		addCS("uts.gacq.fence-block")
+	}
+	if has(active, "steal-unlocked") {
+		addCS("uts.steal.unlocked")
+	}
+	if has(active, "counter-block") {
+		specs = append(specs, RaceSpec{ID: "uts.pending.block-atomic", Alloc: "uts.pending", Kinds: lockKinds})
+	}
+	return specs
+}
+
+// utsMix is the node hash shared by host and device code.
+func utsMix(v uint32) uint32 {
+	v ^= v >> 16
+	v *= 0x7feb352d
+	v ^= v >> 15
+	v *= 0x846ca68b
+	v ^= v >> 16
+	return v
+}
+
+// utsChildren returns the child values of a node (the hash decides the
+// fan-out, 0..4 averaging 2).
+func utsChildren(val uint32, depth, maxDepth int, out []uint32) []uint32 {
+	out = out[:0]
+	if depth >= maxDepth {
+		return out
+	}
+	n := int(utsMix(val) % 5)
+	for k := 0; k < n; k++ {
+		// Mask to 29 bits so values survive the node encoding's depth
+		// field on both host and device.
+		out = append(out, utsMix(val*31+uint32(k)+1)>>3)
+	}
+	return out
+}
+
+// hostCount expands the forest on the host, returning the total node count
+// (the expected number of device expansions).
+func (u *UTS) hostCount(roots []uint32) int {
+	type node struct {
+		val   uint32
+		depth int
+	}
+	var stack []node
+	for _, r := range roots {
+		stack = append(stack, node{r, 0})
+	}
+	total := 0
+	var kids []uint32
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		total++
+		kids = utsChildren(n.val, n.depth, u.MaxDepth, kids)
+		for _, k := range kids {
+			stack = append(stack, node{k, n.depth + 1})
+		}
+	}
+	return total
+}
+
+func encodeNode(val uint32, depth int) uint32 { return val<<3 | uint32(depth)&7 }
+func decodeNode(n uint32) (val uint32, depth int) {
+	return n >> 3, int(n & 7)
+}
+
+// Run implements Benchmark.
+func (u *UTS) Run(d *gpu.Device, active []string) error {
+	validateInjections(u, active)
+
+	llock := d.Alloc("uts.llock", u.Blocks)
+	ltop := d.Alloc("uts.ltop", u.Blocks)
+	litems := d.Alloc("uts.litems", u.Blocks*u.CapL)
+	glock := d.Alloc("uts.glock", u.Blocks)
+	gtop := d.Alloc("uts.gtop", u.Blocks)
+	gitems := d.Alloc("uts.gitems", u.Blocks*u.CapG)
+	pending := d.Alloc("uts.pending", 1)
+	processed := d.Alloc("uts.processed", 1)
+
+	rng := newRNG(d, 0x075)
+	roots := make([]uint32, u.Roots)
+	for i := range roots {
+		roots[i] = rng.Uint32() >> 3 // leave room for the depth bits
+	}
+	wantTotal := u.hostCount(roots)
+
+	// Distribute roots over the blocks' global stacks.
+	tops := make([]uint32, u.Blocks)
+	for i, r := range roots {
+		b := i % u.Blocks
+		d.Mem().Write(gitems+mem.Addr((b*u.CapG+int(tops[b]))*4), encodeNode(r, 0))
+		tops[b]++
+	}
+	d.Mem().HostWrite(gtop, tops)
+	d.Mem().HostFill(pending, 1, uint32(u.Roots))
+
+	casScope := gpu.ScopeDevice
+	if has(active, "glock-cas-block") {
+		casScope = gpu.ScopeBlock
+	}
+	exchScope := gpu.ScopeDevice
+	if has(active, "glock-exch-block") {
+		exchScope = gpu.ScopeBlock
+	}
+	acqFence := gpu.ScopeDevice
+	if has(active, "gacq-fence-block") {
+		acqFence = gpu.ScopeBlock
+	}
+	acqFenceMissing := has(active, "gacq-fence-missing")
+	stealUnlocked := has(active, "steal-unlocked")
+	pendScope := gpu.ScopeDevice
+	if has(active, "counter-block") {
+		pendScope = gpu.ScopeBlock
+	}
+
+	err := d.Launch("uts.search", u.Blocks, u.TPB, func(c *gpu.Ctx) {
+		b := c.Block
+		myLLock := llock + mem.Addr(b*4)
+		myLTop := ltop + mem.Addr(b*4)
+
+		// tryGlobalLock acquires glock[v] with bounded attempts and the
+		// (possibly injected) acquire pattern.
+		tryGlobalLock := func(v, attempts int) bool {
+			a := glock + mem.Addr(v*4)
+			for i := 0; i < attempts; i++ {
+				if c.Site("uts.glock.acquire").AtomicCAS(a, 0, 1, casScope) == 0 {
+					if !acqFenceMissing {
+						c.Fence(acqFence)
+					}
+					return true
+				}
+				c.Work(30)
+			}
+			return false
+		}
+		globalUnlock := func(v int) {
+			c.Site("uts.glock.release")
+			Unlock(c, glock+mem.Addr(v*4), gpu.ScopeDevice, exchScope)
+		}
+
+		popLocal := func() (uint32, bool) {
+			c.Site("uts.llock.acquire")
+			SpinLock(c, myLLock, gpu.ScopeBlock, gpu.ScopeBlock)
+			var node uint32
+			ok := false
+			top := c.Site("uts.lcs.top").Load(myLTop)
+			if top > 0 {
+				node = c.Site("uts.lcs.item").Load(litems + mem.Addr((b*u.CapL+int(top)-1)*4))
+				c.Site("uts.lcs.top").Store(myLTop, top-1)
+				ok = true
+			}
+			c.Site("uts.llock.release")
+			Unlock(c, myLLock, gpu.ScopeBlock, gpu.ScopeBlock)
+			return node, ok
+		}
+		pushLocal := func(n uint32) bool {
+			c.Site("uts.llock.acquire")
+			SpinLock(c, myLLock, gpu.ScopeBlock, gpu.ScopeBlock)
+			ok := false
+			top := c.Site("uts.lcs.top").Load(myLTop)
+			if int(top) < u.CapL {
+				c.Site("uts.lcs.item").Store(litems+mem.Addr((b*u.CapL+int(top))*4), n)
+				c.Site("uts.lcs.top").Store(myLTop, top+1)
+				ok = true
+			}
+			c.Site("uts.llock.release")
+			Unlock(c, myLLock, gpu.ScopeBlock, gpu.ScopeBlock)
+			return ok
+		}
+		popGlobal := func(v int) (uint32, bool) {
+			if stealUnlocked && v != b && v%2 == 1 {
+				// Injected bug: steals from odd-numbered victims skip the
+				// lock (even victims stay locked, so the suite's other
+				// lock injections still see cross-block lock traffic).
+				top := c.Site("uts.gcs.top").Load(gtop + mem.Addr(v*4))
+				if top == 0 {
+					return 0, false
+				}
+				node := c.Site("uts.gcs.item").Load(gitems + mem.Addr((v*u.CapG+int(top)-1)*4))
+				c.Site("uts.gcs.top").Store(gtop+mem.Addr(v*4), top-1)
+				return node, true
+			}
+			if !tryGlobalLock(v, 3) {
+				return 0, false
+			}
+			var node uint32
+			ok := false
+			top := c.Site("uts.gcs.top").Load(gtop + mem.Addr(v*4))
+			if top > 0 {
+				node = c.Site("uts.gcs.item").Load(gitems + mem.Addr((v*u.CapG+int(top)-1)*4))
+				c.Site("uts.gcs.top").Store(gtop+mem.Addr(v*4), top-1)
+				ok = true
+			}
+			globalUnlock(v)
+			return node, ok
+		}
+		pushGlobal := func(n uint32) bool {
+			if !tryGlobalLock(b, 4) {
+				return false
+			}
+			ok := false
+			top := c.Site("uts.gcs.top").Load(gtop + mem.Addr(b*4))
+			if int(top) < u.CapG {
+				c.Site("uts.gcs.item").Store(gitems+mem.Addr((b*u.CapG+int(top))*4), n)
+				c.Site("uts.gcs.top").Store(gtop+mem.Addr(b*4), top+1)
+				ok = true
+			}
+			globalUnlock(b)
+			return ok
+		}
+
+		var kids []uint32
+		idle := 0
+		for idle < u.Patience {
+			if c.Site("uts.pending.read").AtomicAdd(pending, 0, pendScope) == 0 {
+				return
+			}
+			node, ok := popLocal()
+			if !ok {
+				for i := 0; i < c.Blocks && !ok; i++ {
+					node, ok = popGlobal((b + i) % c.Blocks)
+				}
+			}
+			if !ok {
+				idle++
+				c.Work(40)
+				continue
+			}
+			idle = 0
+			val, depth := decodeNode(node)
+			kids = utsChildren(val, depth, u.MaxDepth, kids)
+			c.Work(8 + 4*len(kids))
+			pushed := uint32(0)
+			for k, kv := range kids {
+				n := encodeNode(kv, depth+1)
+				ok := false
+				if k%4 == 3 {
+					ok = pushGlobal(n)
+				}
+				if !ok {
+					ok = pushLocal(n)
+				}
+				if !ok {
+					ok = pushGlobal(n)
+				}
+				if ok {
+					pushed++
+				}
+			}
+			c.Site("uts.processed").AtomicAdd(processed, 1, gpu.ScopeDevice)
+			// Children first, then retire the popped node, so the counter
+			// never transiently hides in-flight work.
+			if pushed > 0 {
+				c.Site("uts.pending.add").AtomicAdd(pending, pushed, pendScope)
+			}
+			c.Site("uts.pending.sub").AtomicAdd(pending, ^uint32(0), pendScope)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(active) == 0 {
+		if got := d.Mem().Read(processed); got != uint32(wantTotal) {
+			return fmt.Errorf("uts: processed %d nodes, want %d", got, wantTotal)
+		}
+		if p := d.Mem().Read(pending); p != 0 {
+			return fmt.Errorf("uts: %d nodes still pending", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package stats collects the simulation counters that every figure in the
+// ScoRD evaluation is derived from: execution cycles, cache and DRAM access
+// counts split into data vs. race-metadata traffic, interconnect flits, and
+// detector stalls.
+package stats
+
+import "fmt"
+
+// Stats accumulates counters over one simulated kernel (or a whole run).
+// All counters are owned by the single-threaded simulation engine, so no
+// synchronization is required.
+type Stats struct {
+	Cycles uint64 // total execution cycles of the run
+
+	Instructions uint64 // warp-level instructions issued (memory + compute)
+	MemOps       uint64 // warp-level memory operations (loads/stores/atomics)
+	Atomics      uint64
+	Fences       uint64
+	Barriers     uint64
+
+	L1Accesses uint64
+	L1Hits     uint64
+
+	L2DataAccesses uint64 // L2 lookups for program data
+	L2DataMisses   uint64
+	L2MetaAccesses uint64 // L2 lookups for race metadata
+	L2MetaMisses   uint64
+
+	DRAMDataAccesses uint64 // DRAM transactions for program data (incl. writebacks)
+	DRAMMetaAccesses uint64 // DRAM transactions for race metadata
+
+	NOCFlits      uint64 // total flits crossing the interconnect
+	NOCExtraFlits uint64 // flits attributable to detector payload/metadata
+
+	DetectorChecks    uint64 // memory accesses examined by the detector
+	DetectorPrelimOK  uint64 // accesses proven trivially race-free (Table III)
+	DetectorStalls    uint64 // cycles an L1 hit stalled on a full detector inbox
+	MetaCacheEvicts   uint64 // tag-mismatch overwrites in the software cache
+	RacesReported     uint64 // race records appended (pre-dedup)
+	ReleaseObserved   uint64 // acquire/release extension: releases recorded
+	DivergentAccesses uint64 // ITS extension: accesses checked at thread granularity
+}
+
+// DRAMAccesses returns total DRAM transactions (data + metadata).
+func (s *Stats) DRAMAccesses() uint64 {
+	return s.DRAMDataAccesses + s.DRAMMetaAccesses
+}
+
+// L1HitRate returns the fraction of L1 accesses that hit, or 0 when no
+// accesses occurred.
+func (s *Stats) L1HitRate() float64 {
+	if s.L1Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(s.L1Accesses)
+}
+
+// Add accumulates o into s. Useful when aggregating per-kernel stats into a
+// per-application total.
+func (s *Stats) Add(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Instructions += o.Instructions
+	s.MemOps += o.MemOps
+	s.Atomics += o.Atomics
+	s.Fences += o.Fences
+	s.Barriers += o.Barriers
+	s.L1Accesses += o.L1Accesses
+	s.L1Hits += o.L1Hits
+	s.L2DataAccesses += o.L2DataAccesses
+	s.L2DataMisses += o.L2DataMisses
+	s.L2MetaAccesses += o.L2MetaAccesses
+	s.L2MetaMisses += o.L2MetaMisses
+	s.DRAMDataAccesses += o.DRAMDataAccesses
+	s.DRAMMetaAccesses += o.DRAMMetaAccesses
+	s.NOCFlits += o.NOCFlits
+	s.NOCExtraFlits += o.NOCExtraFlits
+	s.DetectorChecks += o.DetectorChecks
+	s.DetectorPrelimOK += o.DetectorPrelimOK
+	s.DetectorStalls += o.DetectorStalls
+	s.MetaCacheEvicts += o.MetaCacheEvicts
+	s.RacesReported += o.RacesReported
+	s.ReleaseObserved += o.ReleaseObserved
+	s.DivergentAccesses += o.DivergentAccesses
+}
+
+// String renders a compact human-readable summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d memops=%d l1hit=%.1f%% l2(data=%d meta=%d) dram(data=%d meta=%d) checks=%d races=%d",
+		s.Cycles, s.MemOps, 100*s.L1HitRate(),
+		s.L2DataAccesses, s.L2MetaAccesses,
+		s.DRAMDataAccesses, s.DRAMMetaAccesses,
+		s.DetectorChecks, s.RacesReported)
+}

@@ -1,0 +1,43 @@
+package stats
+
+import "testing"
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a := Stats{
+		Cycles: 1, Instructions: 2, MemOps: 3, Atomics: 4, Fences: 5,
+		Barriers: 6, L1Accesses: 7, L1Hits: 8, L2DataAccesses: 9,
+		L2DataMisses: 10, L2MetaAccesses: 11, L2MetaMisses: 12,
+		DRAMDataAccesses: 13, DRAMMetaAccesses: 14, NOCFlits: 15,
+		NOCExtraFlits: 16, DetectorChecks: 17, DetectorPrelimOK: 18,
+		DetectorStalls: 19, MetaCacheEvicts: 20, RacesReported: 21,
+		ReleaseObserved: 22, DivergentAccesses: 23,
+	}
+	var b Stats
+	b.Add(&a)
+	b.Add(&a)
+	if b.Cycles != 2 || b.DivergentAccesses != 46 || b.NOCExtraFlits != 32 {
+		t.Fatalf("Add lost fields: %+v", b)
+	}
+	if b.DRAMAccesses() != 2*(13+14) {
+		t.Fatalf("DRAMAccesses = %d", b.DRAMAccesses())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.L1HitRate() != 0 {
+		t.Fatal("hit rate of zero accesses")
+	}
+	s.L1Accesses, s.L1Hits = 4, 3
+	if s.L1HitRate() != 0.75 {
+		t.Fatalf("hit rate = %f", s.L1HitRate())
+	}
+}
+
+func TestStringIsInformative(t *testing.T) {
+	s := Stats{Cycles: 42, MemOps: 7}
+	out := s.String()
+	if len(out) == 0 || out[0] != 'c' {
+		t.Fatalf("String() = %q", out)
+	}
+}

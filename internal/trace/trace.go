@@ -1,0 +1,152 @@
+// Package trace provides an optional structured execution tracer for the
+// simulated GPU: a bounded ring of per-warp events (memory operations,
+// fences, barriers, detected races) that can be dumped chronologically.
+// It exists for debugging kernels and the detector itself — production
+// runs leave it detached and pay nothing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+const (
+	// EvLoad is a global-memory load transaction.
+	EvLoad Kind = iota
+	// EvStore is a global-memory store transaction.
+	EvStore
+	// EvAtomic is an atomic read-modify-write transaction.
+	EvAtomic
+	// EvFence is a scoped memory fence.
+	EvFence
+	// EvBarrier is a block barrier release.
+	EvBarrier
+	// EvRace is a race detection report.
+	EvRace
+	// EvKernel marks a kernel launch boundary.
+	EvKernel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvLoad:
+		return "load"
+	case EvStore:
+		return "store"
+	case EvAtomic:
+		return "atomic"
+	case EvFence:
+		return "fence"
+	case EvBarrier:
+		return "barrier"
+	case EvRace:
+		return "RACE"
+	case EvKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Block int
+	Warp  int
+	Addr  uint64 // first address of the transaction (0 for fences/barriers)
+	Info  string // scope, site, kernel name, race kind, ...
+}
+
+func (e Event) String() string {
+	if e.Addr != 0 {
+		return fmt.Sprintf("%10d  b%-3d w%-2d %-7s @%#08x %s", e.Cycle, e.Block, e.Warp, e.Kind, e.Addr, e.Info)
+	}
+	return fmt.Sprintf("%10d  b%-3d w%-2d %-7s %s", e.Cycle, e.Block, e.Warp, e.Kind, e.Info)
+}
+
+// Tracer is a bounded ring buffer of events. Not safe for concurrent use
+// (the simulation is single-threaded).
+type Tracer struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped uint64
+	filter  func(Event) bool
+}
+
+// New builds a tracer keeping the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// SetFilter installs a predicate; events it rejects are counted as dropped
+// but not stored. A nil filter accepts everything.
+func (t *Tracer) SetFilter(f func(Event) bool) { t.filter = f }
+
+// Record appends an event, evicting the oldest when full.
+func (t *Tracer) Record(e Event) {
+	if t.filter != nil && !t.filter(e) {
+		t.dropped++
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % cap(t.ring)
+	t.wrapped = true
+}
+
+// Len reports the number of retained events.
+func (t *Tracer) Len() int { return len(t.ring) }
+
+// Dropped reports events rejected by the filter.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Events returns the retained events in chronological order. Events are
+// recorded as the simulator computes them (program order per warp, which
+// interleaves across warps), so the dump is sorted by cycle, ties kept in
+// recording order.
+func (t *Tracer) Events() []Event {
+	var out []Event
+	if !t.wrapped {
+		out = make([]Event, len(t.ring))
+		copy(out, t.ring)
+	} else {
+		out = make([]Event, 0, cap(t.ring))
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// WriteTo dumps the retained events, one per line.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range t.Events() {
+		m, err := fmt.Fprintln(w, e)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Reset discards all retained events (the filter stays).
+func (t *Tracer) Reset() {
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.wrapped = false
+	t.dropped = 0
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	tr := New(3)
+	for i := 1; i <= 5; i++ {
+		tr.Record(Event{Cycle: uint64(i), Kind: EvLoad})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Cycle != 3 || evs[2].Cycle != 5 {
+		t.Fatalf("kept wrong window: %v", evs)
+	}
+}
+
+func TestChronologicalOrderProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		tr := New(capacity)
+		for i := 0; i < int(n); i++ {
+			tr.Record(Event{Cycle: uint64(i)})
+		}
+		evs := tr.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Cycle <= evs[i-1].Cycle {
+				return false
+			}
+		}
+		return len(evs) == min(int(n), capacity)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterCountsDropped(t *testing.T) {
+	tr := New(8)
+	tr.SetFilter(func(e Event) bool { return e.Kind == EvRace })
+	tr.Record(Event{Kind: EvLoad})
+	tr.Record(Event{Kind: EvRace})
+	tr.Record(Event{Kind: EvStore})
+	if tr.Len() != 1 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestWriteToFormat(t *testing.T) {
+	tr := New(4)
+	tr.Record(Event{Cycle: 7, Kind: EvAtomic, Block: 2, Warp: 1, Addr: 0x80, Info: "device"})
+	tr.Record(Event{Cycle: 9, Kind: EvFence, Block: 2, Warp: 1, Info: "block"})
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "atomic") || !strings.Contains(out, "0x00000080") || !strings.Contains(out, "fence") {
+		t.Fatalf("unexpected dump:\n%s", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(2)
+	tr.Record(Event{Cycle: 1})
+	tr.Record(Event{Cycle: 2})
+	tr.Record(Event{Cycle: 3})
+	tr.Reset()
+	if tr.Len() != 0 || len(tr.Events()) != 0 {
+		t.Fatal("reset kept events")
+	}
+	tr.Record(Event{Cycle: 4})
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Cycle != 4 {
+		t.Fatal("tracer unusable after reset")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvLoad; k <= EvKernel; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty string", k)
+		}
+	}
+}

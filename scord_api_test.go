@@ -1,0 +1,71 @@
+package scord_test
+
+import (
+	"strings"
+	"testing"
+
+	"scord"
+)
+
+// TestQuickstartFlow exercises the public facade exactly as the README's
+// quick start does.
+func TestQuickstartFlow(t *testing.T) {
+	cfg := scord.DefaultConfig().WithDetector(scord.ModeCached)
+	dev, err := scord.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dev.Alloc("counter", 1)
+	err = dev.Launch("inc", 2, 32, func(c *scord.Ctx) {
+		c.AtomicAdd(x, 1, scord.ScopeBlock)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := dev.Races()
+	if len(races) == 0 {
+		t.Fatal("scoped-atomic race not reported through the facade")
+	}
+	if races[0].Kind != scord.RaceScopedAtomic {
+		t.Fatalf("kind = %v", races[0].Kind)
+	}
+	if s := dev.DescribeRecord(races[0]); !strings.Contains(s, "counter") {
+		t.Fatalf("DescribeRecord did not resolve the allocation: %q", s)
+	}
+}
+
+// TestConfigPresets covers the exported configuration constructors.
+func TestConfigPresets(t *testing.T) {
+	def := scord.DefaultConfig()
+	low := scord.LowMemoryConfig()
+	high := scord.HighMemoryConfig()
+	if !(low.L2Size < def.L2Size && def.L2Size < high.L2Size) {
+		t.Fatal("L2 presets not ordered")
+	}
+	if !(low.MemChannels < def.MemChannels && def.MemChannels < high.MemChannels) {
+		t.Fatal("channel presets not ordered")
+	}
+	for _, c := range []scord.Config{def, low, high} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("preset invalid: %v", err)
+		}
+	}
+}
+
+// TestDetectionOffByDefault: the default config reports nothing.
+func TestDetectionOffByDefault(t *testing.T) {
+	dev, err := scord.NewDevice(scord.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dev.Alloc("x", 1)
+	err = dev.Launch("k", 2, 32, func(c *scord.Ctx) {
+		c.Store(x, uint32(c.Block)) // racy, but detection is off
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Detector() != nil || len(dev.Races()) != 0 {
+		t.Fatal("detection active in ModeOff")
+	}
+}
