@@ -2,19 +2,28 @@
 // VII and VIII, the data series behind Figures 8, 9, 10 and 11, and the
 // design-choice ablations of DESIGN.md.
 //
+// The ~450 device simulations behind the full evaluation are independent,
+// so they run on a bounded worker pool (-jobs, default GOMAXPROCS).
+// Results are collected in job-submission order: rendered tables and CSVs
+// are byte-identical at any -jobs value. Deterministic experiment output
+// goes to stdout; per-experiment timing telemetry goes to stderr.
+//
 // Usage:
 //
 //	scord-eval                      # run everything
 //	scord-eval -only fig8           # one experiment
 //	scord-eval -seed 7              # different workload seed
 //	scord-eval -csv out/            # also write one CSV per experiment
+//	scord-eval -jobs 1              # sequential run (same output)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,77 +38,105 @@ type result interface {
 	CSV() [][]string
 }
 
+type experiment struct {
+	name string
+	run  func(harness.Options) (result, error)
+}
+
+var experiments = []experiment{
+	{"table6", func(o harness.Options) (result, error) { return harness.RunTable6(o) }},
+	{"table7", func(o harness.Options) (result, error) { return harness.RunTable7(o) }},
+	{"table8", func(o harness.Options) (result, error) { return harness.RunTable8(o) }},
+	{"fig8", func(o harness.Options) (result, error) { return harness.RunFig8(o) }},
+	{"fig9", func(o harness.Options) (result, error) { return harness.RunFig9(o) }},
+	{"fig10", func(o harness.Options) (result, error) { return harness.RunFig10(o) }},
+	{"fig11", func(o harness.Options) (result, error) { return harness.RunFig11(o) }},
+	{"ablation-ratio", func(o harness.Options) (result, error) { return harness.RunAblationCacheRatio(o) }},
+	{"ablation-inbox", func(o harness.Options) (result, error) { return harness.RunAblationInbox(o) }},
+	{"ablation-rate", func(o harness.Options) (result, error) { return harness.RunAblationRate(o) }},
+}
+
+func experimentNames() string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return strings.Join(names, "|")
+}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord-eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		only   = flag.String("only", "", "run one experiment: table6|table7|table8|fig8|fig9|fig10|fig11|ablation-ratio|ablation-inbox|ablation-rate")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		csvDir = flag.String("csv", "", "directory to write one CSV per experiment (created if missing)")
+		only   = fs.String("only", "", "run one experiment: "+experimentNames())
+		seed   = fs.Int64("seed", 1, "simulation seed")
+		csvDir = fs.String("csv", "", "directory to write one CSV per experiment (created if missing)")
+		jobs   = fs.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for independent simulations (output is identical at any value)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Reject an unknown -only value before running anything: a typo must
+	// not cost a full evaluation pass first.
+	if *only != "" {
+		known := false
+		for _, e := range experiments {
+			if strings.EqualFold(*only, e.name) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(stderr, "scord-eval: unknown experiment %q (choose from %s)\n", *only, experimentNames())
+			return 2
+		}
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "scord-eval: -jobs must be >= 1, got %d\n", *jobs)
+		return 2
+	}
 
 	cfg := config.Default()
 	cfg.Seed = *seed
-	opt := harness.Options{Config: &cfg}
-
-	type experiment struct {
-		name string
-		run  func() (result, error)
-	}
-	exps := []experiment{
-		{"table6", func() (result, error) { return harness.RunTable6(opt) }},
-		{"table7", func() (result, error) { return harness.RunTable7(opt) }},
-		{"table8", func() (result, error) { return harness.RunTable8(opt) }},
-		{"fig8", func() (result, error) { return harness.RunFig8(opt) }},
-		{"fig9", func() (result, error) { return harness.RunFig9(opt) }},
-		{"fig10", func() (result, error) { return harness.RunFig10(opt) }},
-		{"fig11", func() (result, error) { return harness.RunFig11(opt) }},
-		{"ablation-ratio", func() (result, error) { return harness.RunAblationCacheRatio(opt) }},
-		{"ablation-inbox", func() (result, error) { return harness.RunAblationInbox(opt) }},
-		{"ablation-rate", func() (result, error) { return harness.RunAblationRate(opt) }},
-	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "scord-eval:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "scord-eval:", err)
+			return 1
 		}
 	}
 
-	ran := 0
-	for _, e := range exps {
+	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.name) {
 			continue
 		}
-		ran++
+		rep := &harness.Report{}
+		opt := harness.Options{Config: &cfg, Jobs: *jobs, Report: rep}
 		start := time.Now()
-		res, err := e.run()
+		res, err := e.run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scord-eval: %s: %v\n", e.name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "scord-eval: %s: %v\n", e.name, err)
+			return 1
 		}
-		fmt.Println(res.Render())
-		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		fmt.Fprintln(stdout, res.Render())
+		// Timing telemetry goes to stderr so stdout stays byte-identical
+		// across -jobs values and runs.
+		fmt.Fprintf(stderr, "(%s: %d sims on %d workers in %.1fs — %.2fx speedup, %.0f%% utilization)\n",
+			e.name, len(rep.Jobs()), rep.Workers(), time.Since(start).Seconds(),
+			rep.Speedup(), 100*rep.Utilization())
 
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, e.name+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "scord-eval:", err)
-				os.Exit(1)
-			}
-			if err := harness.WriteCSV(f, res); err != nil {
-				f.Close()
-				fmt.Fprintln(os.Stderr, "scord-eval:", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "scord-eval:", err)
-				os.Exit(1)
+			if err := harness.WriteCSVFile(path, res); err != nil {
+				fmt.Fprintln(stderr, "scord-eval:", err)
+				return 1
 			}
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "scord-eval: unknown experiment %q\n", *only)
-		os.Exit(2)
-	}
+	return 0
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: an unknown -only value must be rejected up front with exit
+// code 2, before any simulation runs (a typo used to cost a full
+// evaluation pass of every experiment first).
+func TestUnknownOnlyRejectedBeforeRunning(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-only", "fig99"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty: %q — experiments ran before the rejection", out.String())
+	}
+	if !strings.Contains(errOut.String(), `unknown experiment "fig99"`) {
+		t.Fatalf("stderr %q missing unknown-experiment diagnostic", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "fig8") {
+		t.Fatalf("stderr %q does not list the valid experiment names", errOut.String())
+	}
+}
+
+func TestBadJobsRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-jobs", "0", "-only", "fig8"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-jobs must be >= 1") {
+		t.Fatalf("stderr %q missing -jobs diagnostic", errOut.String())
+	}
+}

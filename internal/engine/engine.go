@@ -82,14 +82,57 @@ func (e *Engine) Step() bool {
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// RunUntilIdle drains the event queue, returning the final cycle. The
-// limit guards against runaway simulations (0 means no limit); it returns
-// ok=false if the limit was hit with events still pending.
-func (e *Engine) RunUntilIdle(limit uint64) (cycle uint64, ok bool) {
-	for e.Step() {
-		if limit != 0 && e.now > limit {
+// Budget bounds one drain of the event queue. The zero value means
+// "unbounded" for both dimensions.
+type Budget struct {
+	// MaxCycle is the last cycle an event may execute at; an event
+	// scheduled later stays queued and the drain stops. 0 disables the
+	// bound.
+	MaxCycle uint64
+	// MaxEvents caps the number of dispatched events. A runaway
+	// simulation that self-reschedules at the *same* cycle never crosses
+	// any cycle bound, so a cycle limit alone cannot stop it; the event
+	// backstop does. 0 disables the bound.
+	MaxEvents uint64
+}
+
+// defaultEventsPerCycle sizes RunUntilIdle's event backstop relative to
+// its cycle limit. No component of the simulated GPU schedules anywhere
+// near this many events per cycle, so the backstop only ever fires on
+// genuine livelock.
+const defaultEventsPerCycle = 4096
+
+// RunBudget drains the event queue within the given budget, returning the
+// final cycle. Both bounds are checked *before* dispatching: an event past
+// MaxCycle never executes, and ok=false reports that events remain queued.
+func (e *Engine) RunBudget(b Budget) (cycle uint64, ok bool) {
+	var dispatched uint64
+	for len(e.events) > 0 {
+		if b.MaxCycle != 0 && e.events[0].cycle > b.MaxCycle {
 			return e.now, false
 		}
+		if b.MaxEvents != 0 && dispatched >= b.MaxEvents {
+			return e.now, false
+		}
+		e.Step()
+		dispatched++
 	}
 	return e.now, true
+}
+
+// RunUntilIdle drains the event queue, returning the final cycle. The
+// limit guards against runaway simulations (0 means no limit); it returns
+// ok=false if the limit was hit with events still pending. A non-zero
+// limit also implies an event-count backstop so a simulation that keeps
+// rescheduling at the current cycle — and therefore never advances past
+// the limit — still terminates.
+func (e *Engine) RunUntilIdle(limit uint64) (cycle uint64, ok bool) {
+	b := Budget{MaxCycle: limit}
+	if limit != 0 {
+		b.MaxEvents = limit * defaultEventsPerCycle
+		if b.MaxEvents/defaultEventsPerCycle != limit { // overflow: saturate
+			b.MaxEvents = ^uint64(0)
+		}
+	}
+	return e.RunBudget(b)
 }

@@ -80,6 +80,68 @@ func TestRunUntilIdleLimit(t *testing.T) {
 	}
 }
 
+// Regression: a zero-delay self-rescheduling event never advances the
+// clock, so a cycle limit alone cannot stop it. The event-count backstop
+// must terminate the drain and report failure.
+func TestRunUntilIdleSameCycleRunaway(t *testing.T) {
+	e := New()
+	var rec func()
+	rec = func() { e.After(0, rec) }
+	e.After(0, rec)
+	if _, ok := e.RunUntilIdle(500); ok {
+		t.Fatal("same-cycle runaway drained to idle")
+	}
+}
+
+// Regression: the limit is checked before dispatch, so an event scheduled
+// past the limit must not execute before the failure is reported.
+func TestRunUntilIdleLimitChecksBeforeDispatch(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(100, func() {})
+	e.At(600, func() { ran = true })
+	cycle, ok := e.RunUntilIdle(500)
+	if ok {
+		t.Fatal("limit not reported with an event still queued")
+	}
+	if ran {
+		t.Fatal("event past the limit executed")
+	}
+	if cycle != 100 {
+		t.Fatalf("clock at %d, want 100 (last in-limit event)", cycle)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the over-limit event still queued", e.Pending())
+	}
+}
+
+// An event exactly at the limit is within budget.
+func TestRunUntilIdleLimitInclusive(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(500, func() { ran = true })
+	if cycle, ok := e.RunUntilIdle(500); !ok || !ran || cycle != 500 {
+		t.Fatalf("event at the limit: cycle=%d ok=%v ran=%v", cycle, ok, ran)
+	}
+}
+
+func TestRunBudgetMaxEvents(t *testing.T) {
+	e := New()
+	n := 0
+	var rec func()
+	rec = func() {
+		n++
+		e.After(1, rec)
+	}
+	e.After(0, rec)
+	if _, ok := e.RunBudget(Budget{MaxEvents: 10}); ok {
+		t.Fatal("event budget not enforced")
+	}
+	if n != 10 {
+		t.Fatalf("dispatched %d events, want exactly 10", n)
+	}
+}
+
 // Property: the engine drains events in nondecreasing cycle order no
 // matter the insertion order.
 func TestMonotonicClockProperty(t *testing.T) {

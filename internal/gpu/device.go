@@ -217,14 +217,17 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, k Kernel) erro
 	}
 	d.fillSMs()
 
-	// Drive the event loop to completion. The limit is generous: any
-	// realistic kernel in the suite finishes well under it.
-	const cycleLimit = 4_000_000_000
+	// Drive the event loop to completion. Both limits are generous: any
+	// realistic kernel in the suite finishes well under them. The event
+	// budget backstops livelocks that reschedule at a fixed cycle and so
+	// would never trip the cycle limit.
+	const (
+		cycleLimit = 4_000_000_000
+		eventLimit = 2_000_000_000
+	)
 	start := d.eng.Now()
-	for d.eng.Step() {
-		if d.eng.Now()-start > cycleLimit {
-			return fmt.Errorf("gpu: kernel %q exceeded %d cycles (livelock?)", name, uint64(cycleLimit))
-		}
+	if _, ok := d.eng.RunBudget(engine.Budget{MaxCycle: start + cycleLimit, MaxEvents: eventLimit}); !ok {
+		return fmt.Errorf("gpu: kernel %q exceeded %d cycles or %d events (livelock?)", name, uint64(cycleLimit), uint64(eventLimit))
 	}
 	if d.liveWarps != 0 || len(d.pending) != 0 {
 		return fmt.Errorf("gpu: kernel %q deadlocked with %d warps live, %d blocks undispatched (barrier mismatch?)",

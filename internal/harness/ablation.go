@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"scord/internal/config"
@@ -14,6 +13,9 @@ import (
 // experiments: the 16:1 software-cache ratio, the detector inbox size, and
 // the detector service rate. Each sweep varies one parameter around the
 // default and reports the consequences the design section argues about.
+// Like the headline experiments, each sweep flattens its simulations into
+// independent jobs for the worker pool; the per-(point, app) cells are
+// assembled sequentially afterwards.
 
 // CacheRatioRow is one point of the metadata-cache-ratio sweep.
 type CacheRatioRow struct {
@@ -37,48 +39,83 @@ type AblationCacheRatio struct {
 // ratios 4, 8, 16 (default), 32 and 64.
 func RunAblationCacheRatio(opt Options) (*AblationCacheRatio, error) {
 	cfg := opt.cfg()
+	apps := scor.Apps()
+	ratios := []int{4, 8, 16, 32, 64}
+
+	// Each (ratio, app) cell is filled by three jobs writing disjoint
+	// fields: the injected detection run and the two performance runs.
+	type cell struct {
+		present, caught   int
+		evictions         uint64
+		cycOff, cycCached uint64
+	}
+	cells := make([]cell, len(ratios)*len(apps))
+	var sims []Sim
+	for ri, ratio := range ratios {
+		for ai, b := range apps {
+			ai, ratio := ai, ratio
+			c := &cells[ri*len(apps)+ai]
+			sims = append(sims, Sim{
+				Label: fmt.Sprintf("ablation-ratio/%d/%s/detect", ratio, b.Name()),
+				Run: func() error {
+					b := app(ai)
+					conf := cfg.WithDetector(config.ModeCached)
+					conf.Detector.MetaCacheRatio = ratio
+					d, err := gpu.New(conf)
+					if err != nil {
+						return err
+					}
+					if err := b.Run(d, b.Injections()); err != nil {
+						return fmt.Errorf("%s at ratio %d: %w", b.Name(), ratio, err)
+					}
+					res := scor.MatchRaces(d, b.ExpectedRaces(b.Injections()))
+					c.present = res.Expected
+					c.caught = len(res.Caught)
+					c.evictions = d.Stats().MetaCacheEvicts
+					return nil
+				},
+			})
+			for _, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				mode := mode
+				sims = append(sims, Sim{
+					Label: fmt.Sprintf("ablation-ratio/%d/%s/%v", ratio, b.Name(), mode),
+					Run: func() error {
+						conf := cfg.WithDetector(mode)
+						conf.Detector.MetaCacheRatio = ratio
+						d, err := gpu.New(conf)
+						if err != nil {
+							return err
+						}
+						if err := app(ai).Run(d, nil); err != nil {
+							return err
+						}
+						if mode == config.ModeOff {
+							c.cycOff = d.Stats().Cycles
+						} else {
+							c.cycCached = d.Stats().Cycles
+						}
+						return nil
+					},
+				})
+			}
+		}
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
 	out := &AblationCacheRatio{}
-	for _, ratio := range []int{4, 8, 16, 32, 64} {
+	for ri, ratio := range ratios {
 		row := CacheRatioRow{Ratio: ratio, OverheadPct: 200.0 / float64(ratio)}
-
-		// Detection completeness across the whole suite with injections.
-		for _, b := range scor.Apps() {
-			c := cfg.WithDetector(config.ModeCached)
-			c.Detector.MetaCacheRatio = ratio
-			d, err := gpu.New(c)
-			if err != nil {
-				return nil, err
-			}
-			if err := b.Run(d, b.Injections()); err != nil {
-				return nil, fmt.Errorf("%s at ratio %d: %w", b.Name(), ratio, err)
-			}
-			res := scor.MatchRaces(d, b.ExpectedRaces(b.Injections()))
-			row.Present += res.Expected
-			row.Caught += len(res.Caught)
-			row.Evictions += d.Stats().MetaCacheEvicts
+		var norms []float64
+		for ai := range apps {
+			c := cells[ri*len(apps)+ai]
+			row.Present += c.present
+			row.Caught += c.caught
+			row.Evictions += c.evictions
+			norms = append(norms, float64(c.cycCached)/float64(c.cycOff))
 		}
-
-		// Performance on the correctly synchronized suite.
-		prod := 1.0
-		n := 0
-		for _, b := range scor.Apps() {
-			var cyc [2]uint64
-			for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
-				c := cfg.WithDetector(mode)
-				c.Detector.MetaCacheRatio = ratio
-				d, err := gpu.New(c)
-				if err != nil {
-					return nil, err
-				}
-				if err := b.Run(d, nil); err != nil {
-					return nil, err
-				}
-				cyc[i] = d.Stats().Cycles
-			}
-			prod *= float64(cyc[1]) / float64(cyc[0])
-			n++
-		}
-		row.Slowdown = pow(prod, 1/float64(n))
+		row.Slowdown = geomean(norms)
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
@@ -113,32 +150,58 @@ type AblationInbox struct {
 // 1, 4, 12 (default) and 64.
 func RunAblationInbox(opt Options) (*AblationInbox, error) {
 	cfg := opt.cfg()
-	out := &AblationInbox{}
-	for _, inbox := range []int{1, 4, 12, 64} {
-		prod := 1.0
-		var stalls uint64
-		n := 0
-		for _, b := range scor.Apps() {
-			var cyc [2]uint64
-			for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
-				c := cfg.WithDetector(mode)
-				c.Detector.InboxSize = inbox
-				d, err := gpu.New(c)
-				if err != nil {
-					return nil, err
-				}
-				if err := b.Run(d, nil); err != nil {
-					return nil, err
-				}
-				cyc[i] = d.Stats().Cycles
-				if mode == config.ModeCached {
-					stalls += d.Stats().DetectorStalls
-				}
+	apps := scor.Apps()
+	inboxes := []int{1, 4, 12, 64}
+
+	type cell struct {
+		cycOff, cycCached, stalls uint64
+	}
+	cells := make([]cell, len(inboxes)*len(apps))
+	var sims []Sim
+	for ii, inbox := range inboxes {
+		for ai, b := range apps {
+			ai, inbox := ai, inbox
+			c := &cells[ii*len(apps)+ai]
+			for _, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				mode := mode
+				sims = append(sims, Sim{
+					Label: fmt.Sprintf("ablation-inbox/%d/%s/%v", inbox, b.Name(), mode),
+					Run: func() error {
+						conf := cfg.WithDetector(mode)
+						conf.Detector.InboxSize = inbox
+						d, err := gpu.New(conf)
+						if err != nil {
+							return err
+						}
+						if err := app(ai).Run(d, nil); err != nil {
+							return err
+						}
+						if mode == config.ModeOff {
+							c.cycOff = d.Stats().Cycles
+						} else {
+							c.cycCached = d.Stats().Cycles
+							c.stalls = d.Stats().DetectorStalls
+						}
+						return nil
+					},
+				})
 			}
-			prod *= float64(cyc[1]) / float64(cyc[0])
-			n++
 		}
-		out.Rows = append(out.Rows, InboxRow{Inbox: inbox, Slowdown: pow(prod, 1/float64(n)), Stalls: stalls})
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &AblationInbox{}
+	for ii, inbox := range inboxes {
+		var norms []float64
+		var stalls uint64
+		for ai := range apps {
+			c := cells[ii*len(apps)+ai]
+			norms = append(norms, float64(c.cycCached)/float64(c.cycOff))
+			stalls += c.stalls
+		}
+		out.Rows = append(out.Rows, InboxRow{Inbox: inbox, Slowdown: geomean(norms), Stalls: stalls})
 	}
 	return out, nil
 }
@@ -170,28 +233,53 @@ type AblationRate struct {
 // and 16 checks per cycle.
 func RunAblationRate(opt Options) (*AblationRate, error) {
 	cfg := opt.cfg()
-	out := &AblationRate{}
-	for _, rate := range []int{1, 2, 4, 8, 16} {
-		prod := 1.0
-		n := 0
-		for _, b := range scor.Apps() {
-			var cyc [2]uint64
-			for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
-				c := cfg.WithDetector(mode)
-				c.Detector.ChecksPerCycle = rate
-				d, err := gpu.New(c)
-				if err != nil {
-					return nil, err
-				}
-				if err := b.Run(d, nil); err != nil {
-					return nil, err
-				}
-				cyc[i] = d.Stats().Cycles
+	apps := scor.Apps()
+	rates := []int{1, 2, 4, 8, 16}
+
+	type cell struct{ cycOff, cycCached uint64 }
+	cells := make([]cell, len(rates)*len(apps))
+	var sims []Sim
+	for ri, rate := range rates {
+		for ai, b := range apps {
+			ai, rate := ai, rate
+			c := &cells[ri*len(apps)+ai]
+			for _, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
+				mode := mode
+				sims = append(sims, Sim{
+					Label: fmt.Sprintf("ablation-rate/%d/%s/%v", rate, b.Name(), mode),
+					Run: func() error {
+						conf := cfg.WithDetector(mode)
+						conf.Detector.ChecksPerCycle = rate
+						d, err := gpu.New(conf)
+						if err != nil {
+							return err
+						}
+						if err := app(ai).Run(d, nil); err != nil {
+							return err
+						}
+						if mode == config.ModeOff {
+							c.cycOff = d.Stats().Cycles
+						} else {
+							c.cycCached = d.Stats().Cycles
+						}
+						return nil
+					},
+				})
 			}
-			prod *= float64(cyc[1]) / float64(cyc[0])
-			n++
 		}
-		out.Rows = append(out.Rows, RateRow{Rate: rate, Slowdown: pow(prod, 1/float64(n))})
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &AblationRate{}
+	for ri, rate := range rates {
+		var norms []float64
+		for ai := range apps {
+			c := cells[ri*len(apps)+ai]
+			norms = append(norms, float64(c.cycCached)/float64(c.cycOff))
+		}
+		out.Rows = append(out.Rows, RateRow{Rate: rate, Slowdown: geomean(norms)})
 	}
 	return out, nil
 }
@@ -206,5 +294,3 @@ func (a *AblationRate) Render() string {
 	}
 	return b.String()
 }
-
-func pow(x, p float64) float64 { return math.Pow(x, p) }

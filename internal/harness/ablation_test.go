@@ -7,9 +7,7 @@ import "testing"
 // overhead halves per step, evictions grow with the ratio, and folding is
 // a performance win (coarser is never slower than 4:1).
 func TestAblationCacheRatioShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	a, err := RunAblationCacheRatio(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -36,9 +34,7 @@ func TestAblationCacheRatioShape(t *testing.T) {
 // TestAblationRateShape: the service-rate sweep must be monotone — more
 // detector bandwidth never hurts — with a visible knee above rate 1.
 func TestAblationRateShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	a, err := RunAblationRate(Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 )
 
@@ -20,6 +21,29 @@ func WriteCSV(w io.Writer, c CSVer) error {
 		return fmt.Errorf("harness: writing csv: %w", err)
 	}
 	return nil
+}
+
+// WriteCSVFile writes a result's rows to path. On any create, write, or
+// close failure the partial file is removed, so a failed run never leaves
+// a truncated CSV behind to be mistaken for experiment output.
+func WriteCSVFile(path string, c CSVer) error {
+	return writeCSVFile(path, func(w io.Writer) error { return WriteCSV(w, c) })
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: creating csv: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("harness: closing csv: %w", cerr)
+		}
+		if err != nil {
+			os.Remove(path)
+		}
+	}()
+	return write(f)
 }
 
 func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -7,9 +7,7 @@ import "testing"
 // metadata per 4 bytes of data), and the software cache never increases
 // metadata traffic.
 func TestFig9Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	f9, err := RunFig9(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -38,9 +36,7 @@ func TestFig9Shape(t *testing.T) {
 // (sum to ~1 where overhead exists), and UTS — all-volatile stacks — has
 // exactly zero LHD, the paper's own sanity check.
 func TestFig10Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	f10, err := RunFig10(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -60,9 +56,7 @@ func TestFig10Shape(t *testing.T) {
 // applications: ScoRD's overhead shrinks monotonically from the
 // constrained to the generous memory subsystem.
 func TestFig11Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	f11, err := RunFig11(Options{})
 	if err != nil {
 		t.Fatal(err)

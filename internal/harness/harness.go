@@ -6,11 +6,15 @@
 //
 // Absolute cycle counts belong to this repository's simulator, not
 // GPGPU-Sim; the quantities of interest are the normalized shapes.
+//
+// Every experiment declares its device simulations as a flat list of
+// independent jobs executed by the bounded worker pool in runner.go;
+// results are collected in job-submission order, so output is identical
+// at any worker count.
 package harness
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"scord/internal/config"
@@ -25,6 +29,16 @@ type Options struct {
 	// Base hardware configuration (detector settings are overridden per
 	// experiment). Defaults to config.Default().
 	Config *config.Config
+
+	// Jobs bounds the worker goroutines executing independent simulations;
+	// 0 means runtime.GOMAXPROCS(0). Tests pin Jobs to 1 for a strictly
+	// sequential run. Each simulation engine is single-threaded either
+	// way — parallelism exists only across device instances.
+	Jobs int
+
+	// Report, when non-nil, accumulates per-job wall-clock and aggregate
+	// worker utilization for every experiment run with these Options.
+	Report *Report
 }
 
 func (o Options) cfg() config.Config {
@@ -46,6 +60,10 @@ func runApp(cfg config.Config, b scor.Benchmark, mode config.DetectorMode, activ
 	}
 	return d, nil
 }
+
+// app returns a fresh instance of the i-th suite application. Jobs build
+// their own benchmark instances so concurrent workers never share one.
+func app(i int) scor.Benchmark { return scor.Apps()[i] }
 
 // ---------------------------------------------------------------------------
 // Table VI — races caught by the base design and by ScoRD.
@@ -69,42 +87,64 @@ type Table6 struct {
 // racey microbenchmarks, under both metadata designs.
 func RunTable6(opt Options) (*Table6, error) {
 	cfg := opt.cfg()
-	out := &Table6{}
-	count := func(b scor.Benchmark, mode config.DetectorMode) (int, int, error) {
-		d, err := runApp(cfg, b, mode, b.Injections())
-		if err != nil {
-			return 0, 0, err
+	apps := scor.Apps()
+	var racey []int
+	for i, m := range micro.All() {
+		if m.Racey() {
+			racey = append(racey, i)
 		}
-		res := scor.MatchRaces(d, b.ExpectedRaces(b.Injections()))
-		return res.Expected, len(res.Caught), nil
 	}
-	for _, b := range scor.Apps() {
-		present, base, err := count(b, config.ModeFull4B)
-		if err != nil {
-			return nil, err
+
+	type cell struct{ present, caught int }
+	modes := []config.DetectorMode{config.ModeFull4B, config.ModeCached}
+	cells := make([]cell, (len(apps)+len(racey))*len(modes))
+	var sims []Sim
+	slot := 0
+	addPair := func(name string, fresh func() scor.Benchmark) {
+		for _, mode := range modes {
+			i, mode := slot, mode
+			slot++
+			sims = append(sims, Sim{
+				Label: fmt.Sprintf("table6/%s/%v", name, mode),
+				Run: func() error {
+					b := fresh()
+					d, err := runApp(cfg, b, mode, b.Injections())
+					if err != nil {
+						return err
+					}
+					res := scor.MatchRaces(d, b.ExpectedRaces(b.Injections()))
+					cells[i] = cell{res.Expected, len(res.Caught)}
+					return nil
+				},
+			})
 		}
-		_, cached, err := count(b, config.ModeCached)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, Table6Row{b.Name(), present, base, cached})
+	}
+	for ai, b := range apps {
+		ai := ai
+		addPair(b.Name(), func() scor.Benchmark { return app(ai) })
+	}
+	for _, mi := range racey {
+		mi := mi
+		addPair(micro.All()[mi].Name(), func() scor.Benchmark { return micro.All()[mi] })
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &Table6{}
+	k := 0
+	for _, b := range apps {
+		full, cached := cells[k], cells[k+1]
+		k += 2
+		out.Rows = append(out.Rows, Table6Row{b.Name(), full.present, full.caught, cached.caught})
 	}
 	mrow := Table6Row{Workload: "Microbenchmarks"}
-	for _, m := range micro.All() {
-		if !m.Racey() {
-			continue
-		}
-		present, base, err := count(m, config.ModeFull4B)
-		if err != nil {
-			return nil, err
-		}
-		_, cached, err := count(m, config.ModeCached)
-		if err != nil {
-			return nil, err
-		}
-		mrow.Present += present
-		mrow.Base += base
-		mrow.ScoRD += cached
+	for range racey {
+		full, cached := cells[k], cells[k+1]
+		k += 2
+		mrow.Present += full.present
+		mrow.Base += full.caught
+		mrow.ScoRD += cached.caught
 	}
 	out.Rows = append(out.Rows, mrow)
 	for _, r := range out.Rows {
@@ -146,37 +186,47 @@ type Table7 struct {
 // tracking granularity and counts distinct false-positive reports.
 func RunTable7(opt Options) (*Table7, error) {
 	cfg := opt.cfg()
+	apps := scor.Apps()
 	modes := []config.DetectorMode{
 		config.ModeFull4B, config.ModeGran8B, config.ModeGran16B, config.ModeCached,
 	}
-	out := &Table7{}
-	for _, b := range scor.Apps() {
-		row := Table7Row{Workload: b.Name()}
-		for i, mode := range modes {
-			d, err := runApp(cfg, b, mode, nil)
-			if err != nil {
-				return nil, err
-			}
-			// Count false reports (occurrences): the number of times the
-			// detector would have interrupted a clean program. Coarser
-			// granularity aliases more accesses into shared entries, so
-			// this grows with granularity as in the paper.
-			fp := 0
-			for _, r := range scor.MatchRaces(d, nil).FalsePos {
-				fp += r.Count
-			}
-			switch i {
-			case 0:
-				row.FP4B = fp
-			case 1:
-				row.FP8B = fp
-			case 2:
-				row.FP16B = fp
-			case 3:
-				row.ScoRD = fp
-			}
+	fps := make([]int, len(apps)*len(modes))
+	var sims []Sim
+	for ai, b := range apps {
+		for mi, mode := range modes {
+			ai, mode := ai, mode
+			i := ai*len(modes) + mi
+			sims = append(sims, Sim{
+				Label: fmt.Sprintf("table7/%s/%v", b.Name(), mode),
+				Run: func() error {
+					d, err := runApp(cfg, app(ai), mode, nil)
+					if err != nil {
+						return err
+					}
+					// Count false reports (occurrences): the number of times
+					// the detector would have interrupted a clean program.
+					// Coarser granularity aliases more accesses into shared
+					// entries, so this grows with granularity as in the paper.
+					fp := 0
+					for _, r := range scor.MatchRaces(d, nil).FalsePos {
+						fp += r.Count
+					}
+					fps[i] = fp
+					return nil
+				},
+			})
 		}
-		out.Rows = append(out.Rows, row)
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &Table7{}
+	for ai, b := range apps {
+		f := fps[ai*len(modes):]
+		out.Rows = append(out.Rows, Table7Row{
+			Workload: b.Name(), FP4B: f[0], FP8B: f[1], FP16B: f[2], ScoRD: f[3],
+		})
 	}
 	return out, nil
 }
@@ -215,30 +265,46 @@ type Fig8 struct {
 // detection, the base design, and ScoRD.
 func RunFig8(opt Options) (*Fig8, error) {
 	cfg := opt.cfg()
-	out := &Fig8{GeoBase: 1, GeoScoRD: 1}
-	for _, b := range scor.Apps() {
-		var cyc [3]uint64
-		for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeFull4B, config.ModeCached} {
-			d, err := runApp(cfg, b, mode, nil)
-			if err != nil {
-				return nil, err
-			}
-			cyc[i] = d.Stats().Cycles
+	apps := scor.Apps()
+	modes := []config.DetectorMode{config.ModeOff, config.ModeFull4B, config.ModeCached}
+	cyc := make([]uint64, len(apps)*len(modes))
+	var sims []Sim
+	for ai, b := range apps {
+		for mi, mode := range modes {
+			ai, mode := ai, mode
+			i := ai*len(modes) + mi
+			sims = append(sims, Sim{
+				Label: fmt.Sprintf("fig8/%s/%v", b.Name(), mode),
+				Run: func() error {
+					d, err := runApp(cfg, app(ai), mode, nil)
+					if err != nil {
+						return err
+					}
+					cyc[i] = d.Stats().Cycles
+					return nil
+				},
+			})
 		}
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &Fig8{}
+	var base, scord []float64
+	for ai, b := range apps {
+		c := cyc[ai*len(modes):]
 		r := Fig8Row{
 			App:       b.Name(),
-			BaseNorm:  float64(cyc[1]) / float64(cyc[0]),
-			ScoRDNorm: float64(cyc[2]) / float64(cyc[0]),
+			BaseNorm:  float64(c[1]) / float64(c[0]),
+			ScoRDNorm: float64(c[2]) / float64(c[0]),
 		}
 		out.Rows = append(out.Rows, r)
+		base = append(base, r.BaseNorm)
+		scord = append(scord, r.ScoRDNorm)
 	}
-	for _, r := range out.Rows {
-		out.GeoBase *= r.BaseNorm
-		out.GeoScoRD *= r.ScoRDNorm
-	}
-	n := float64(len(out.Rows))
-	out.GeoBase = math.Pow(out.GeoBase, 1/n)
-	out.GeoScoRD = math.Pow(out.GeoScoRD, 1/n)
+	out.GeoBase = geomean(base)
+	out.GeoScoRD = geomean(scord)
 	return out, nil
 }
 
@@ -273,23 +339,41 @@ type Fig9 struct {
 // RunFig9 measures DRAM transactions under each design.
 func RunFig9(opt Options) (*Fig9, error) {
 	cfg := opt.cfg()
-	out := &Fig9{}
-	for _, b := range scor.Apps() {
-		var st [3]*stats.Stats
-		for i, mode := range []config.DetectorMode{config.ModeOff, config.ModeFull4B, config.ModeCached} {
-			d, err := runApp(cfg, b, mode, nil)
-			if err != nil {
-				return nil, err
-			}
-			st[i] = d.Stats()
+	apps := scor.Apps()
+	modes := []config.DetectorMode{config.ModeOff, config.ModeFull4B, config.ModeCached}
+	st := make([]*stats.Stats, len(apps)*len(modes))
+	var sims []Sim
+	for ai, b := range apps {
+		for mi, mode := range modes {
+			ai, mode := ai, mode
+			i := ai*len(modes) + mi
+			sims = append(sims, Sim{
+				Label: fmt.Sprintf("fig9/%s/%v", b.Name(), mode),
+				Run: func() error {
+					d, err := runApp(cfg, app(ai), mode, nil)
+					if err != nil {
+						return err
+					}
+					st[i] = d.Stats()
+					return nil
+				},
+			})
 		}
-		norm := float64(st[0].DRAMAccesses())
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &Fig9{}
+	for ai, b := range apps {
+		s := st[ai*len(modes):]
+		norm := float64(s[0].DRAMAccesses())
 		out.Rows = append(out.Rows, Fig9Row{
 			App:       b.Name(),
-			BaseData:  float64(st[1].DRAMDataAccesses) / norm,
-			BaseMeta:  float64(st[1].DRAMMetaAccesses) / norm,
-			ScoRDData: float64(st[2].DRAMDataAccesses) / norm,
-			ScoRDMeta: float64(st[2].DRAMMetaAccesses) / norm,
+			BaseData:  float64(s[1].DRAMDataAccesses) / norm,
+			BaseMeta:  float64(s[1].DRAMMetaAccesses) / norm,
+			ScoRDData: float64(s[2].DRAMDataAccesses) / norm,
+			ScoRDMeta: float64(s[2].DRAMMetaAccesses) / norm,
 		})
 	}
 	return out, nil
@@ -330,45 +414,57 @@ type Fig10 struct {
 // overhead to the three mechanisms by the uplift each removal produces.
 func RunFig10(opt Options) (*Fig10, error) {
 	cfg := opt.cfg()
+	apps := scor.Apps()
+	variants := []struct {
+		name string
+		mut  func(*config.Detector)
+	}{
+		{"full", nil},
+		{"no-lhd", func(dc *config.Detector) { dc.DisableLHDTiming = true }},
+		{"no-noc", func(dc *config.Detector) { dc.DisableNOCTiming = true }},
+		{"no-md", func(dc *config.Detector) { dc.DisableMDTiming = true }},
+	}
+	cyc := make([]uint64, len(apps)*len(variants))
+	var sims []Sim
+	for ai, b := range apps {
+		for vi, v := range variants {
+			ai, v := ai, v
+			i := ai*len(variants) + vi
+			sims = append(sims, Sim{
+				Label: fmt.Sprintf("fig10/%s/%s", b.Name(), v.name),
+				Run: func() error {
+					c := cfg.WithDetector(config.ModeCached)
+					if v.mut != nil {
+						v.mut(&c.Detector)
+					}
+					d, err := gpu.New(c)
+					if err != nil {
+						return err
+					}
+					if err := app(ai).Run(d, nil); err != nil {
+						return err
+					}
+					cyc[i] = d.Stats().Cycles
+					return nil
+				},
+			})
+		}
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
 	out := &Fig10{}
-	for _, b := range scor.Apps() {
-		run := func(mut func(*config.Detector)) (uint64, error) {
-			c := cfg.WithDetector(config.ModeCached)
-			if mut != nil {
-				mut(&c.Detector)
-			}
-			d, err := gpu.New(c)
-			if err != nil {
-				return 0, err
-			}
-			if err := b.Run(d, nil); err != nil {
-				return 0, err
-			}
-			return d.Stats().Cycles, nil
-		}
-		full, err := run(nil)
-		if err != nil {
-			return nil, err
-		}
-		noLHD, err := run(func(dc *config.Detector) { dc.DisableLHDTiming = true })
-		if err != nil {
-			return nil, err
-		}
-		noNOC, err := run(func(dc *config.Detector) { dc.DisableNOCTiming = true })
-		if err != nil {
-			return nil, err
-		}
-		noMD, err := run(func(dc *config.Detector) { dc.DisableMDTiming = true })
-		if err != nil {
-			return nil, err
-		}
+	for ai, b := range apps {
+		c := cyc[ai*len(variants):]
+		full := c[0]
 		up := func(t uint64) float64 {
 			if full > t {
 				return float64(full - t)
 			}
 			return 0
 		}
-		l, n, m := up(noLHD), up(noNOC), up(noMD)
+		l, n, m := up(c[1]), up(c[2]), up(c[3])
 		sum := l + n + m
 		row := Fig10Row{App: b.Name()}
 		if sum > 0 {
@@ -418,21 +514,48 @@ type Fig11 struct {
 
 // RunFig11 sweeps the three memory-subsystem presets.
 func RunFig11(opt Options) (*Fig11, error) {
-	presets := []config.Config{config.LowMemory(), opt.cfg(), config.HighMemory()}
-	out := &Fig11{}
-	for _, b := range scor.Apps() {
-		row := Fig11Row{App: b.Name()}
-		for i, preset := range presets {
-			var cyc [2]uint64
-			for j, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
-				d, err := runApp(preset, b, mode, nil)
-				if err != nil {
-					return nil, err
-				}
-				cyc[j] = d.Stats().Cycles
+	apps := scor.Apps()
+	presets := []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"low", config.LowMemory()},
+		{"default", opt.cfg()},
+		{"high", config.HighMemory()},
+	}
+	modes := []config.DetectorMode{config.ModeOff, config.ModeCached}
+	cyc := make([]uint64, len(apps)*len(presets)*len(modes))
+	var sims []Sim
+	for ai, b := range apps {
+		for pi, p := range presets {
+			for mi, mode := range modes {
+				ai, p, mode := ai, p, mode
+				i := (ai*len(presets)+pi)*len(modes) + mi
+				sims = append(sims, Sim{
+					Label: fmt.Sprintf("fig11/%s/%s/%v", b.Name(), p.name, mode),
+					Run: func() error {
+						d, err := runApp(p.cfg, app(ai), mode, nil)
+						if err != nil {
+							return err
+						}
+						cyc[i] = d.Stats().Cycles
+						return nil
+					},
+				})
 			}
-			norm := float64(cyc[1]) / float64(cyc[0])
-			switch i {
+		}
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
+	out := &Fig11{}
+	for ai, b := range apps {
+		row := Fig11Row{App: b.Name()}
+		for pi := range presets {
+			c := cyc[(ai*len(presets)+pi)*len(modes):]
+			norm := float64(c[1]) / float64(c[0])
+			switch pi {
 			case 0:
 				row.Low = norm
 			case 1:

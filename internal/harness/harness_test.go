@@ -53,9 +53,7 @@ func TestTable8Matrix(t *testing.T) {
 // and ScoRD catches at least 43 of 44 (the paper's single software-cache
 // aliasing false negative is input-dependent).
 func TestTable6Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	t6, err := RunTable6(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -75,9 +73,7 @@ func TestTable6Shape(t *testing.T) {
 // slower than the base (no-caching) design by more than noise, its mean
 // overhead is modest, and the base design pays more.
 func TestFig8Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	f8, err := RunFig8(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -98,9 +94,7 @@ func TestFig8Shape(t *testing.T) {
 // TestTable7Shape: no false positives at word granularity or with ScoRD;
 // coarser granularity produces them, growing with group size overall.
 func TestTable7Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-suite experiment")
-	}
+	skipHeavy(t)
 	t7, err := RunTable7(Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this test binary was built with -race. The
+// full-suite shape tests are single-threaded compute repeated many times;
+// under the race detector they multiply into tens of minutes without
+// exercising any concurrency, so they skip and the runner-focused tests
+// carry the -race coverage.
+const raceEnabled = true

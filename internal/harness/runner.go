@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The ~450 device simulations behind the paper's tables and figures are
+// embarrassingly parallel: every (benchmark × detector mode × config
+// mutation) pair builds its own gpu.Device and draws from instance-local
+// RNGs, so nothing is shared between jobs. Each experiment therefore
+// declares its simulations as a flat []Sim, a bounded worker pool executes
+// them, and every job writes its result into an order-indexed slot — the
+// assembly pass then reads the slots in submission order, making rendered
+// tables and CSVs byte-identical to a sequential run regardless of worker
+// interleaving. Each simulation engine itself stays single-threaded;
+// parallelism exists only across device instances.
+
+// Sim is one independent device simulation job.
+type Sim struct {
+	// Label identifies the job in error messages and the run report,
+	// e.g. "fig8/MM/scord".
+	Label string
+	// Run builds the device (and its own benchmark instance), executes the
+	// simulation, and stores the result into the slot the experiment
+	// reserved for this job. It must not touch state shared with other
+	// jobs.
+	Run func() error
+}
+
+// JobTiming is the wall-clock record of one executed job.
+type JobTiming struct {
+	Label string
+	Wall  time.Duration
+}
+
+// Report accumulates scheduling telemetry for one experiment run: per-job
+// wall-clock and the aggregate utilization of the worker pool. A single
+// Report may be shared across experiments (scord-eval resets one per
+// experiment); it is safe for concurrent use.
+type Report struct {
+	mu      sync.Mutex
+	workers int
+	jobs    []JobTiming
+	wall    time.Duration // batch wall-clock, summed over batches
+	busy    time.Duration // per-job wall-clock summed (serial-equivalent time)
+}
+
+func (r *Report) add(workers int, batchWall time.Duration, timings []JobTiming) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if workers > r.workers {
+		r.workers = workers
+	}
+	r.jobs = append(r.jobs, timings...)
+	r.wall += batchWall
+	for _, jt := range timings {
+		r.busy += jt.Wall
+	}
+}
+
+// Jobs returns the per-job timings in submission order.
+func (r *Report) Jobs() []JobTiming {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTiming, len(r.jobs))
+	copy(out, r.jobs)
+	return out
+}
+
+// Workers returns the largest worker-pool size used.
+func (r *Report) Workers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.workers
+}
+
+// Wall returns the wall-clock time spent draining job batches.
+func (r *Report) Wall() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wall
+}
+
+// Busy returns the summed per-job wall-clock — the serial-equivalent time.
+func (r *Report) Busy() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+// Speedup returns the parallel speedup over a sequential run of the same
+// jobs (serial-equivalent time over wall-clock).
+func (r *Report) Speedup() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wall <= 0 {
+		return 1
+	}
+	return float64(r.busy) / float64(r.wall)
+}
+
+// Utilization returns the fraction of worker capacity that executed
+// simulation work: busy / (wall × workers).
+func (r *Report) Utilization() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wall <= 0 || r.workers <= 0 {
+		return 0
+	}
+	return float64(r.busy) / (float64(r.wall) * float64(r.workers))
+}
+
+// jobs resolves the worker count: Options.Jobs if positive, else
+// GOMAXPROCS.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runAll drains sims on a bounded worker pool and blocks until every job
+// has finished. Jobs are handed out in submission order; results land in
+// the order-indexed slots the sims close over. The first error in
+// submission order — deterministic, unlike first-in-time — is returned
+// wrapped with its job label; later errors are dropped.
+func runAll(opt Options, sims []Sim) error {
+	workers := opt.jobs()
+	if workers > len(sims) {
+		workers = len(sims)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	errs := make([]error, len(sims))
+	timings := make([]JobTiming, len(sims))
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sims) {
+					return
+				}
+				t0 := time.Now()
+				errs[i] = sims[i].Run()
+				timings[i] = JobTiming{Label: sims[i].Label, Wall: time.Since(t0)}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if opt.Report != nil {
+		opt.Report.add(workers, time.Since(start), timings)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", sims[i].Label, err)
+		}
+	}
+	return nil
+}
+
+// geomean returns the geometric mean of xs, accumulating in the log
+// domain: a raw product of ~1.x ratios overflows or underflows float64
+// range once the app list grows, while the log sum stays tiny. The empty
+// product's mean is 1.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -57,10 +57,54 @@ func classOf(m *micro.Micro) string {
 
 // RunTable8 runs every microbenchmark once with the four comparison models
 // attached as functional checkers and ScoRD as the real detector, then
-// scores each detector per race class.
+// scores each detector per race class. Each microbenchmark is one
+// independent job (its own device, its own model instances); the matrix is
+// aggregated sequentially from the per-micro verdicts.
 func RunTable8(opt Options) (*Table8, error) {
 	cfg := opt.cfg()
 	names := []string{"LDetector", "HAccRG", "Barracuda", "CURD", "ScoRD"}
+
+	// verdicts[mi] maps detector name to (caught all specs, any records).
+	type verdict struct{ caughtAll, anyRecords bool }
+	micros := micro.All()
+	verdicts := make([]map[string]verdict, len(micros))
+	var sims []Sim
+	for mi, m := range micros {
+		mi := mi
+		sims = append(sims, Sim{
+			Label: "table8/" + m.Name(),
+			Run: func() error {
+				m := micro.All()[mi]
+				d, err := gpu.New(cfg.WithDetector(config.ModeFull4B))
+				if err != nil {
+					return err
+				}
+				models := detectors.All()
+				for _, mod := range models {
+					d.AddChecker(mod)
+				}
+				if err := m.Run(d, nil); err != nil {
+					return fmt.Errorf("micro %s: %w", m.Name(), err)
+				}
+				specs := m.ExpectedRaces(nil)
+				v := make(map[string]verdict, len(models)+1)
+				score := func(det string, recs []core.Record) {
+					res := scor.MatchRecords(d.Mem(), recs, specs)
+					v[det] = verdict{caughtAll: len(res.Missed) == 0, anyRecords: res.AllRecords > 0}
+				}
+				for _, mod := range models {
+					score(mod.Name(), mod.Records())
+				}
+				score("ScoRD", d.Races())
+				verdicts[mi] = v
+				return nil
+			},
+		})
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+
 	caught := map[string]map[string]*Capability{}
 	fps := map[string]int{}
 	for _, n := range names {
@@ -79,33 +123,15 @@ func RunTable8(opt Options) (*Table8, error) {
 			c.Caught++
 		}
 	}
-
-	for _, m := range micro.All() {
-		d, err := gpu.New(cfg.WithDetector(config.ModeFull4B))
-		if err != nil {
-			return nil, err
-		}
-		models := detectors.All()
-		for _, mod := range models {
-			d.AddChecker(mod)
-		}
-		if err := m.Run(d, nil); err != nil {
-			return nil, fmt.Errorf("micro %s: %w", m.Name(), err)
-		}
-		specs := m.ExpectedRaces(nil)
-		score := func(det string, recs []core.Record) {
-			res := scor.MatchRecords(d.Mem(), recs, specs)
+	for mi, m := range micros {
+		for _, det := range names {
+			v := verdicts[mi][det]
 			if m.Racey() {
-				class := classOf(m)
-				bump(det, class, true, len(res.Missed) == 0)
-			} else if res.AllRecords > 0 {
+				bump(det, classOf(m), true, v.caughtAll)
+			} else if v.anyRecords {
 				fps[det]++
 			}
 		}
-		for _, mod := range models {
-			score(mod.Name(), mod.Records())
-		}
-		score("ScoRD", d.Races())
 	}
 
 	out := &Table8{}

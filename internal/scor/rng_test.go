@@ -1,0 +1,45 @@
+package scor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression: the old linear mix (Seed*0x5851f42d + salt) collided for
+// pairs whose seed delta cancels the salt delta — e.g. seed 1 with salt
+// 0x5851f42d against seed 2 with salt 0 — so two different workloads drew
+// identical input streams. The splitmix64 mix must keep every (seed, salt)
+// pair on this grid distinct.
+func TestMixSeedNoCollisions(t *testing.T) {
+	// The suite's live salts plus adversarial values around the old
+	// collision structure.
+	salts := []int64{
+		0x33, 0x9ed, 0x110, 0x1dc, 0x075, // benchmark salts
+		0, 1, -1, 0x5851f42d, -0x5851f42d, 2 * 0x5851f42d,
+	}
+	seen := make(map[int64]string)
+	for seed := int64(-8); seed <= 64; seed++ {
+		for _, salt := range salts {
+			got := mixSeed(seed, salt)
+			pair := fmt.Sprintf("(seed=%d, salt=%#x)", seed, salt)
+			if prev, dup := seen[got]; dup {
+				t.Fatalf("mixSeed collision: %s and %s both map to %#x", pair, prev, uint64(got))
+			}
+			seen[got] = pair
+		}
+	}
+
+	// The specific pair the linear mix collided on.
+	if mixSeed(1, 0x5851f42d) == mixSeed(2, 0) {
+		t.Fatal("legacy collision pair (1, 0x5851f42d) vs (2, 0) still collides")
+	}
+}
+
+// mixSeed must stay deterministic: identical inputs, identical stream seed.
+func TestMixSeedDeterministic(t *testing.T) {
+	for _, tc := range [][2]int64{{1, 0x33}, {7, 0x9ed}, {-3, 0x075}} {
+		if mixSeed(tc[0], tc[1]) != mixSeed(tc[0], tc[1]) {
+			t.Fatalf("mixSeed(%d, %d) not deterministic", tc[0], tc[1])
+		}
+	}
+}

@@ -16,9 +16,27 @@ import (
 	"scord/internal/mem"
 )
 
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), a bijective
+// avalanche mix on 64-bit words.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mixSeed derives an RNG seed from the device seed and a per-benchmark
+// salt. An earlier version mixed linearly (Seed*K + salt), which made
+// distinct (seed, salt) pairs collide whenever seed deltas cancel salt
+// deltas (e.g. seed 1 / salt K against seed 2 / salt 0); feeding each
+// input through splitmix64 avalanches every bit instead.
+func mixSeed(seed, salt int64) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(salt)))
+}
+
 // newRNG derives a benchmark-local deterministic RNG from the device seed.
 func newRNG(d *gpu.Device, salt int64) *rand.Rand {
-	return rand.New(rand.NewSource(d.Config().Seed*0x5851f42d + salt))
+	return rand.New(rand.NewSource(mixSeed(d.Config().Seed, salt)))
 }
 
 // RaceSpec declares one unique race a benchmark configuration is expected
