@@ -1,0 +1,30 @@
+// Command scord-lint is the repo's static-analysis multichecker: it runs
+// the scopelint (kernel scope discipline) and detlint (simulator
+// determinism) analyzers over the requested packages.
+//
+// Usage:
+//
+//	scord-lint [-json] [packages]
+//
+// With no package patterns it checks ./... . Findings go to stdout, one
+// per line (or as a JSON array with -json: analyzer, category, position,
+// message). Exit status: 0 clean, 1 findings, 2 operational failure.
+//
+// Intentional findings — injected races in benchmark kernels, wall-clock
+// telemetry that never feeds simulation results — are silenced in place
+// with a justifying comment:
+//
+//	c.AtomicAdd(a.data, 1, gpu.ScopeBlock) //scord:allow(scopelint/crossblock) injected race under test
+package main
+
+import (
+	"os"
+
+	"scord/internal/analysis/detlint"
+	"scord/internal/analysis/framework"
+	"scord/internal/analysis/scopelint"
+)
+
+func main() {
+	os.Exit(framework.Main(os.Stdout, os.Stderr, os.Args[1:], scopelint.Analyzer, detlint.Analyzer))
+}

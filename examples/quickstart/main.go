@@ -30,6 +30,7 @@ func main() {
 		c.Site("counter.add")
 		for i := 0; i < perWarp; i++ {
 			// BUG: the other block never observes these increments.
+			//scord:allow(scopelint/crossblock) this example exists to demonstrate exactly this bug
 			c.AtomicAdd(counter, 1, scord.ScopeBlock)
 		}
 	})

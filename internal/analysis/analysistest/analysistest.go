@@ -1,0 +1,159 @@
+// Package analysistest is a golden-test runner for the analyzers in
+// internal/analysis, mirroring golang.org/x/tools/go/analysis/analysistest:
+// a testdata package seeds violations, and comments of the form
+//
+//	c.AtomicAdd(ctr, 1, gpu.ScopeBlock) // want `block-scope AtomicAdd`
+//
+// assert that the analyzer reports a diagnostic matching the back-quoted
+// regular expression on that line. A line may carry several `re` patterns
+// (one per expected diagnostic). The test fails on any unmatched
+// expectation and on any unexpected diagnostic.
+//
+// Testdata packages import real module packages (scord/internal/gpu, ...)
+// and are type-checked against the same `go list -export` data the
+// scord-lint driver uses, so expectations exercise exactly what the
+// driver would report.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"scord/internal/analysis/framework"
+)
+
+// extraStdlib is the stdlib allowance for testdata packages, listed
+// explicitly because export data is otherwise only produced for the
+// module's own dependency closure.
+var extraStdlib = []string{"fmt", "time", "math/rand", "sort", "strings", "os", "sync", "container/heap"}
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+func moduleExports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		root, err := framework.ModuleRoot(".")
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		exportsMap, exportsErr = framework.ModuleExports(root, extraStdlib...)
+	})
+	if exportsErr != nil {
+		t.Fatalf("analysistest: loading module export data: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+`[^`]*`)+)\\s*$")
+var patRE = regexp.MustCompile("`([^`]*)`")
+
+// Run applies the analyzer to the package in testdata/src/<name> for each
+// name and verifies its diagnostics against the `// want` expectations.
+func Run(t *testing.T, a *framework.Analyzer, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) { runDir(t, a, filepath.Join("testdata", "src", name)) })
+	}
+}
+
+func runDir(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	imp := framework.NewExportImporter(fset, moduleExports(t))
+	pkg, err := framework.TypeCheck(fset, imp, "testdata/"+filepath.Base(dir), dir, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := collectWants(t, fset, pkg.Files)
+
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.Report = func(d framework.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				return
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want` comments out of the package files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want `") {
+						t.Fatalf("%s: malformed want comment: %s", fset.Position(c.Slash), c.Text)
+					}
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pm[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,36 @@
+// Package detclean is the negative case: a deterministic simulation
+// fragment that does everything detlint polices, the right way.
+package detclean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"scord/internal/engine"
+)
+
+// runSeeded drives the engine with an isolated seeded RNG and renders
+// per-label counts in sorted order. detlint must stay silent.
+func runSeeded(seed int64, labels []string) string {
+	e := engine.New()
+	rng := rand.New(rand.NewSource(seed))
+	counts := map[string]int{}
+	for _, l := range labels {
+		l := l
+		e.After(uint64(rng.Intn(16)), func() { counts[l]++ })
+	}
+	e.RunUntilIdle(0)
+
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d cycle=%d\n", k, counts[k], e.Now())
+	}
+	return b.String()
+}

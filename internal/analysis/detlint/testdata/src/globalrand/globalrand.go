@@ -1,0 +1,22 @@
+// Package globalrand seeds draws from the process-global math/rand
+// source, which ignores the simulation's seed.
+package globalrand
+
+import "math/rand"
+
+// jitter draws from the global source.
+func jitter() int {
+	return rand.Intn(8) // want `rand.Intn draws from the process-global source`
+}
+
+// shuffle permutes through the global source.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global source`
+}
+
+// seeded builds an isolated, replayable stream: clean, including the
+// method calls on it.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}

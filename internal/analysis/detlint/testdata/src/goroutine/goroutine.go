@@ -1,0 +1,25 @@
+// Package goroutine seeds goroutine launches inside engine event
+// handlers, racing the deterministic (cycle, seq) event order.
+package goroutine
+
+import "scord/internal/engine"
+
+// scheduleAsync hands the engine a handler that spawns concurrency.
+func scheduleAsync(e *engine.Engine, work func()) {
+	e.After(10, func() {
+		go work() // want `goroutine launched inside an engine event handler`
+	})
+}
+
+// scheduleAt does the same through At.
+func scheduleAt(e *engine.Engine, work func()) {
+	e.At(20, func() {
+		go work() // want `goroutine launched inside an engine event handler`
+	})
+}
+
+// scheduleSync runs the handler synchronously: clean.
+func scheduleSync(e *engine.Engine, work func()) {
+	e.After(10, work)
+	e.At(20, func() { work() })
+}

@@ -1,0 +1,48 @@
+// Package maporder seeds map iterations whose randomized order leaks
+// into rendered output or accumulated stats.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// render formats rows straight out of a map range.
+func render(stats map[string]int) string {
+	var b strings.Builder
+	for k, v := range stats { // want `map iteration feeds fmt.Fprintf`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// collect accumulates keys that are never sorted.
+func collect(stats map[string]int) []string {
+	var out []string
+	for k := range stats { // want `map iteration appends to out, which is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// --- clean patterns: no diagnostics --------------------------------------
+
+// collectSorted sorts the keys before anyone can observe the order.
+func collectSorted(stats map[string]int) []string {
+	var keys []string
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// total folds commutatively; order cannot show.
+func total(stats map[string]int) int {
+	n := 0
+	for _, v := range stats {
+		n += v
+	}
+	return n
+}

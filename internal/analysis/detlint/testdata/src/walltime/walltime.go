@@ -1,0 +1,17 @@
+// Package walltime seeds wall-clock reads in simulation code.
+package walltime
+
+import "time"
+
+// stepDuration times a simulation step with the wall clock — the result
+// differs run to run, breaking byte-identical replay.
+func stepDuration(step func()) time.Duration {
+	start := time.Now() // want `time.Now in the deterministic core`
+	step()
+	return time.Since(start) // want `time.Since in the deterministic core`
+}
+
+// cycleDelta derives timing from engine cycles: clean.
+func cycleDelta(before, after uint64) uint64 {
+	return after - before
+}

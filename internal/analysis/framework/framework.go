@@ -1,0 +1,91 @@
+// Package framework is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/types and go/importer. The repo deliberately carries no
+// external module dependencies, so the x/tools driver stack (analysis,
+// analysistest, multichecker) is substituted by this package plus
+// internal/analysis/analysistest: the Analyzer/Pass/Diagnostic surface
+// mirrors x/tools closely enough that the analyzers in scopelint and
+// detlint would port to the real framework by changing imports.
+//
+// Packages are type-checked against compiler export data produced by
+// `go list -export`, exactly like a real go vet driver, so analyzers see
+// fully resolved types across package boundaries.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //scord:allow(name) suppression comments.
+	Name string
+
+	// Doc is the analyzer's documentation, shown by scord-lint -help.
+	Doc string
+
+	// Match optionally restricts which package import paths the driver
+	// applies this analyzer to. nil means every loaded package. Tests
+	// invoke Run directly, so Match never hides an analyzer from its own
+	// testdata.
+	Match func(pkgPath string) bool
+
+	// Run executes the check over one package, reporting findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries the per-package inputs of one analyzer run, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills in the analyzer
+	// name; analyzers usually call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos under the given sub-check category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // sub-check name, e.g. "crossblock"; may be empty
+	Message  string
+}
+
+// Finding is a resolved diagnostic as emitted by the driver: the position
+// has been mapped through the FileSet and the analyzer name attached. It
+// is the unit of scord-lint's text and JSON output.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Category string         `json:"category,omitempty"`
+	Position token.Position `json:"-"`
+	Pos      string         `json:"pos"` // "file:line:col"
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	name := f.Analyzer
+	if f.Category != "" {
+		name += "/" + f.Category
+	}
+	return fmt.Sprintf("%s: %s: %s", f.Pos, name, f.Message)
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }

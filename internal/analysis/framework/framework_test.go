@@ -1,0 +1,219 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestLoad smoke-tests the export-data loader against a real module
+// package: it must come back parsed, type-checked and resolved.
+func TestLoad(t *testing.T) {
+	pkgs, err := Load(".", "scord/internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "scord/internal/stats" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+		t.Fatalf("package not fully populated: files=%d types=%v info=%v",
+			len(p.Files), p.Types != nil, p.Info != nil)
+	}
+	if !p.Types.Complete() {
+		t.Error("types.Package is incomplete")
+	}
+	// Cross-package resolution must have happened: stats imports at least
+	// one package, and the importer must have delivered it complete.
+	if len(p.Types.Imports()) == 0 {
+		t.Error("no resolved imports; export-data importer not working")
+	}
+	for _, imp := range p.Types.Imports() {
+		if !imp.Complete() {
+			t.Errorf("import %s resolved incomplete", imp.Path())
+		}
+	}
+}
+
+// parsePkg type-checks one dependency-free source string into a Package.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	tpkg, err := (&types.Config{}).Check("example/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return &Package{PkgPath: "example/p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// badFuncs reports every function whose name starts with Bad, under
+// category "cat".
+var badFuncs = &Analyzer{
+	Name: "fake",
+	Doc:  "flags functions named Bad*",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "cat", "found %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+const suppressionSrc = `package p
+
+func BadPlain() {}
+
+func BadTrailing() {} //scord:allow(fake) demo
+
+//scord:allow(fake/cat) demo
+func BadAbove() {}
+
+//scord:allow(other) demo
+func BadWrongName() {}
+
+//scord:allow(fake/othercat) demo
+func BadWrongCategory() {}
+`
+
+// TestSuppression pins the //scord:allow semantics: same line or line
+// above, by analyzer name or analyzer/category, and nothing else.
+func TestSuppression(t *testing.T) {
+	pkg := parsePkg(t, suppressionSrc)
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{badFuncs})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	want := []string{"found BadPlain", "found BadWrongName", "found BadWrongCategory"}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Sorted by position: BadPlain (line 3) precedes the rest.
+	if findings[0].Position.Line >= findings[1].Position.Line {
+		t.Errorf("findings not sorted by line: %d then %d",
+			findings[0].Position.Line, findings[1].Position.Line)
+	}
+}
+
+// TestMatchGate checks that RunAnalyzers skips packages an analyzer's
+// Match rejects.
+func TestMatchGate(t *testing.T) {
+	pkg := parsePkg(t, "package p\n\nfunc BadPlain() {}\n")
+	gated := &Analyzer{
+		Name:  badFuncs.Name,
+		Doc:   badFuncs.Doc,
+		Run:   badFuncs.Run,
+		Match: func(pkgPath string) bool { return pkgPath == "somewhere/else" },
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{gated})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("Match-gated analyzer still produced %d findings", len(findings))
+	}
+}
+
+// TestFindingString pins the text rendering used by scord-lint output
+// and by analysistest's diffs.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "fake", Category: "cat", Pos: "p.go:3:1", Message: "found BadPlain"}
+	if got, want := f.String(), "p.go:3:1: fake/cat: found BadPlain"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	f.Category = ""
+	if got, want := f.String(), "p.go:3:1: fake: found BadPlain"; got != want {
+		t.Errorf("String() without category = %q, want %q", got, want)
+	}
+}
+
+// silent never reports; used to drive Main's clean path.
+var silent = &Analyzer{Name: "silent", Doc: "reports nothing", Run: func(*Pass) error { return nil }}
+
+// noisy reports once per package at the package clause.
+var noisy = &Analyzer{
+	Name: "noisy",
+	Doc:  "reports one finding per package",
+	Run: func(pass *Pass) error {
+		pass.Reportf(pass.Files[0].Package, "pkg", "package %s visited", pass.Pkg.Path())
+		return nil
+	},
+}
+
+// TestMain_JSON exercises the full driver: exit codes and the -json
+// encoding contract ([] when clean, decodable findings otherwise).
+func TestMain_JSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, []string{"-json", "scord/internal/stats"}, silent); code != 0 {
+		t.Fatalf("clean run exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	var clean []Finding
+	if err := json.Unmarshal(out.Bytes(), &clean); err != nil {
+		t.Fatalf("clean -json output %q does not decode: %v", out.String(), err)
+	}
+	if clean == nil || len(clean) != 0 {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, []string{"-json", "scord/internal/stats"}, noisy); code != 1 {
+		t.Fatalf("noisy run exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var found []Finding
+	if err := json.Unmarshal(out.Bytes(), &found); err != nil {
+		t.Fatalf("-json output does not decode: %v", err)
+	}
+	if len(found) != 1 || found[0].Analyzer != "noisy" || found[0].Category != "pkg" ||
+		!strings.Contains(found[0].Message, "scord/internal/stats") || found[0].Pos == "" {
+		t.Errorf("unexpected findings: %+v", found)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, []string{"-definitely-not-a-flag"}, silent); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+// TestMain_Text checks the human-readable rendering path.
+func TestMain_Text(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, []string{"scord/internal/stats"}, noisy); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	line := strings.TrimSpace(out.String())
+	if !strings.Contains(line, "noisy/pkg:") || !strings.Contains(line, "package scord/internal/stats visited") {
+		t.Errorf("text output = %q", line)
+	}
+}

@@ -1,0 +1,210 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, fully type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList invokes `go list -e -export -deps -json` in dir for the given
+// patterns. -export compiles each package (if necessary) and reports the
+// build-cache path of its export data; -deps includes the transitive
+// closure, so the returned set resolves every import the targets make.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter resolves imports from compiler export data listed by
+// goList. It wraps the standard gc importer with a path→file lookup, the
+// same mechanism a go vet driver uses.
+type ExportImporter struct {
+	exports map[string]string // import path -> export data file
+	under   types.Importer
+}
+
+// NewExportImporter builds an importer over the given (path → export
+// file) table.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) *ExportImporter {
+	ei := &ExportImporter{exports: exports}
+	ei.under = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ei.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ei
+}
+
+// Import implements types.Importer.
+func (ei *ExportImporter) Import(path string) (*types.Package, error) {
+	return ei.under.Import(path)
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (relative to dir), resolving all imports — stdlib and intra-module —
+// through export data. Dependency packages are not re-parsed; only the
+// pattern targets are returned, sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := TypeCheck(fset, imp, p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// TypeCheck parses the given files and type-checks them as one package.
+func TypeCheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", pkgPath, err)
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: type checking: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   asts,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// ModuleExports lists export data for the whole module rooted at modRoot
+// plus the named extra (typically stdlib) packages, returning the lookup
+// table and the module's import-path prefix. analysistest uses it to
+// type-check testdata packages that import real module packages.
+func ModuleExports(modRoot string, extra ...string) (map[string]string, error) {
+	patterns := append([]string{"./..."}, extra...)
+	listed, err := goList(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// ModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,169 @@
+package framework
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// allowRE matches suppression directives: //scord:allow(name,...) reason.
+// A name is an analyzer name ("scopelint") or analyzer/category
+// ("scopelint/crossblock"). The directive suppresses matching findings on
+// its own line and on the following line, so it can trail the flagged
+// statement or sit on its own line above it. The reason text is required
+// by convention (reviewed by humans), not enforced.
+var allowRE = regexp.MustCompile(`scord:allow\(([^)]+)\)`)
+
+// allowSet records, per file and line, the suppression names in force.
+type allowSet map[string]map[int][]string
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	as := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				names := strings.Split(m[1], ",")
+				for i := range names {
+					names[i] = strings.TrimSpace(names[i])
+				}
+				if as[pos.Filename] == nil {
+					as[pos.Filename] = map[int][]string{}
+				}
+				as[pos.Filename][pos.Line] = append(as[pos.Filename][pos.Line], names...)
+			}
+		}
+	}
+	return as
+}
+
+// suppressed reports whether a finding is covered by an allow directive on
+// its line or the line above.
+func (as allowSet) suppressed(f Finding) bool {
+	lines := as[f.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{f.Position.Line, f.Position.Line - 1} {
+		for _, name := range lines[l] {
+			if name == f.Analyzer || (f.Category != "" && name == f.Analyzer+"/"+f.Category) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to each package (honoring
+// Analyzer.Match) and returns the unsuppressed findings sorted by
+// position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					Category: d.Category,
+					Position: pos,
+					Pos:      pos.String(),
+					Message:  d.Message,
+				}
+				if !allows.suppressed(f) {
+					findings = append(findings, f)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}
+
+// Main is the scord-lint entry point: parse flags, load the requested
+// packages, run the analyzers and render findings. It returns the process
+// exit code: 0 clean, 1 findings, 2 operational failure.
+func Main(out, errOut io.Writer, args []string, analyzers ...*Analyzer) int {
+	fs := flag.NewFlagSet("scord-lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: scord-lint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(errOut, "  %-10s %s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs, err := Load(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(errOut, "scord-lint:", err)
+		return 2
+	}
+	findings, err := RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(errOut, "scord-lint:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{} // render [] rather than null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(errOut, "scord-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,510 @@
+// Package scopelint statically checks scope discipline in kernel
+// functions — any function with a *gpu.Ctx parameter. ScoRD's dynamic
+// detector finds scoped races when they happen; scopelint flags the
+// paper's bug patterns before a simulation ever runs:
+//
+//   - crossblock: a block-scope atomic (or Acquire/Release) whose address
+//     is derived from cross-block bases (GlobalWarp(), c.Blocks), or is
+//     the same on every block — the Figure 3 work-stealing bug shape.
+//   - fencepublish: a block-scope fence that is supposed to publish a
+//     prior store to a cross-block address (the Figure 4 RED bug shape).
+//   - weakmixed: a plain (weak) Load/Store of an address the same kernel
+//     also accesses atomically — the weak-access race class of Table IV.
+//   - acqrel: an Acquire with no matching Release anywhere in the kernel.
+//   - diverge: AtLane divergence that reaches a SyncThreads/Fence or the
+//     kernel's end without an intervening Converge (ITS, Section VI).
+//
+// The checks are deliberately heuristic: addresses are compared
+// syntactically and control flow is approximated by source order. A
+// finding that is intentional (an injected race, a single-block launch)
+// is silenced with a //scord:allow(scopelint/<check>) comment carrying a
+// justification.
+package scopelint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"scord/internal/analysis/framework"
+)
+
+// Analyzer is the kernel scope-discipline checker.
+var Analyzer = &framework.Analyzer{
+	Name: "scopelint",
+	Doc:  "statically checks scoped-memory-model discipline in GPU kernel functions",
+	Run:  run,
+}
+
+// atomicMethods maps Ctx atomic-family methods to the argument positions
+// of their address and scope operands.
+var atomicMethods = map[string]struct{ addr, scope int }{
+	"AtomicAdd":     {0, 2},
+	"AtomicMax":     {0, 2},
+	"AtomicCAS":     {0, 3},
+	"AtomicExch":    {0, 2},
+	"Acquire":       {0, 1},
+	"Release":       {0, 2},
+	"AtomicAddVec":  {0, 2},
+	"AtomicMaxVec":  {0, 2},
+	"AtomicReadVec": {0, 1},
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !isKernelFunc(pass, ftype) {
+				return true
+			}
+			checkKernel(pass, ftype, body)
+			return true // nested kernels are visited (and re-checked) on their own
+		})
+	}
+	return nil
+}
+
+// isKernelFunc reports whether the function type has a *gpu.Ctx parameter.
+func isKernelFunc(pass *framework.Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, f := range ftype.Params.List {
+		if isCtxPtr(pass.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxPtr reports whether t is *gpu.Ctx (matched by package path suffix,
+// so the root package's Ctx alias resolves identically).
+func isCtxPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Ctx" && obj.Pkg() != nil && pathIsGPU(obj.Pkg().Path())
+}
+
+func pathIsGPU(p string) bool {
+	const suffix = "internal/gpu"
+	return p == suffix || (len(p) > len(suffix) && p[len(p)-len(suffix)-1] == '/' && p[len(p)-len(suffix):] == suffix)
+}
+
+// ctxCall describes one Ctx method call inside a kernel.
+type ctxCall struct {
+	name string
+	call *ast.CallExpr
+	pos  token.Pos
+}
+
+// checkKernel runs every scope check over one kernel function.
+func checkKernel(pass *framework.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	calls := collectCtxCalls(pass, body)
+
+	// Taint A: values derived from cross-block bases. Indexing by the
+	// warp's own c.Block is block-local and therefore NOT a source.
+	crossBlock := taintedObjects(pass, body, func(e ast.Expr) bool {
+		return isGlobalWarpCall(pass, e) || isCtxField(pass, e, "Blocks")
+	})
+	isCross := func(e ast.Expr) bool {
+		return exprTainted(pass, e, crossBlock, func(x ast.Expr) bool {
+			return isGlobalWarpCall(pass, x) || isCtxField(pass, x, "Blocks")
+		})
+	}
+
+	// Taint B: values that vary per block (or per role), used to decide
+	// whether an address is the same on every block. Integer parameters
+	// count as block-varying: kernel wrappers routinely pass a role or
+	// thread id computed from block identity.
+	intParams := integerParamObjs(pass, ftype)
+	blockDepSource := func(e ast.Expr) bool {
+		if isGlobalWarpCall(pass, e) || isCtxField(pass, e, "Blocks") ||
+			isCtxField(pass, e, "Block") || isCtxField(pass, e, "Warp") {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok && intParams[pass.ObjectOf(id)] {
+			return true
+		}
+		return false
+	}
+	blockDep := taintedObjects(pass, body, blockDepSource)
+	isBlockDep := func(e ast.Expr) bool { return exprTainted(pass, e, blockDep, blockDepSource) }
+
+	// A branch on block identity means the kernel may confine an access
+	// to a subset of blocks; the shared-address heuristic stands down.
+	branchesOnBlock := hasBlockDependentBranch(pass, body, isBlockDep)
+
+	checkCrossBlock(pass, calls, isCross, isBlockDep, branchesOnBlock)
+	checkFencePublish(pass, calls, isCross)
+	checkWeakMixed(pass, calls)
+	checkAcqRel(pass, calls)
+	checkDiverge(pass, calls)
+}
+
+// collectCtxCalls gathers Ctx method calls in source order, descending
+// into nested non-kernel closures but not into nested kernels.
+func collectCtxCalls(pass *framework.Pass, body *ast.BlockStmt) []ctxCall {
+	var calls []ctxCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && isKernelFunc(pass, lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := ctxMethodName(pass, call); ok {
+			calls = append(calls, ctxCall{name: name, call: call, pos: call.Pos()})
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].pos < calls[j].pos })
+	return calls
+}
+
+// ctxMethodName resolves a call to a method on *gpu.Ctx.
+func ctxMethodName(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isCtxPtr(sig.Recv().Type()) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isScopeBlock reports whether e is the ScopeBlock constant (under any
+// re-export alias). Scope values held in variables are deliberately not
+// traced: injection harnesses select scopes at run time on purpose.
+func isScopeBlock(pass *framework.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	c, ok := pass.ObjectOf(id).(*types.Const)
+	return ok && c.Name() == "ScopeBlock"
+}
+
+// isGlobalWarpCall matches c.GlobalWarp().
+func isGlobalWarpCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := ctxMethodName(pass, call)
+	return ok && name == "GlobalWarp"
+}
+
+// isCtxField matches the selector c.<field> on a Ctx value.
+func isCtxField(pass *framework.Pass, e ast.Expr, field string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != field {
+		return false
+	}
+	return isCtxPtr(pass.TypeOf(sel.X))
+}
+
+// integerParamObjs returns the objects of plain integer parameters (the
+// role/id parameters of kernel helpers). Only predeclared basic integer
+// types count: named integer types such as mem.Addr are addresses, not
+// block-derived ids.
+func integerParamObjs(pass *framework.Pass, ftype *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range ftype.Params.List {
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// taintedObjects computes, to a fixpoint, the set of local variables whose
+// value derives from a source expression. Assignments, short declarations,
+// var specs and range statements propagate taint.
+func taintedObjects(pass *framework.Pass, body *ast.BlockStmt, isSource func(ast.Expr) bool) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	expr := func(e ast.Expr) bool { return exprTainted(pass, e, tainted, isSource) }
+	mark := func(e ast.Expr) bool {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 8; i++ { // fixpoint; kernel bodies are tiny
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, rhs := range st.Rhs {
+						if expr(rhs) && mark(st.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else {
+					any := false
+					for _, rhs := range st.Rhs {
+						any = any || expr(rhs)
+					}
+					if any {
+						for _, lhs := range st.Lhs {
+							if mark(lhs) {
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				any := false
+				for _, v := range st.Values {
+					any = any || expr(v)
+				}
+				if any {
+					for _, name := range st.Names {
+						if mark(name) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if expr(st.X) {
+					if st.Key != nil && mark(st.Key) {
+						changed = true
+					}
+					if st.Value != nil && mark(st.Value) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return tainted
+}
+
+// exprTainted reports whether e contains a source expression or a tainted
+// variable.
+func exprTainted(pass *framework.Pass, e ast.Expr, tainted map[types.Object]bool, isSource func(ast.Expr) bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok && isSource(x) {
+			found = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && tainted[pass.ObjectOf(id)] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasBlockDependentBranch reports whether any branch condition in the
+// kernel depends on block identity.
+func hasBlockDependentBranch(pass *framework.Pass, body *ast.BlockStmt, isBlockDep func(ast.Expr) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var cond ast.Expr
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			cond = st.Cond
+		case *ast.ForStmt:
+			cond = st.Cond
+		case *ast.SwitchStmt:
+			cond = st.Tag
+		}
+		if cond != nil && isBlockDep(cond) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkCrossBlock flags block-scope atomics whose address is either
+// cross-block derived or identical on every block.
+func checkCrossBlock(pass *framework.Pass, calls []ctxCall, isCross, isBlockDep func(ast.Expr) bool, branchesOnBlock bool) {
+	for _, c := range calls {
+		spec, ok := atomicMethods[c.name]
+		if !ok || len(c.call.Args) <= spec.scope {
+			continue
+		}
+		if !isScopeBlock(pass, c.call.Args[spec.scope]) {
+			continue
+		}
+		addr := c.call.Args[spec.addr]
+		switch {
+		case isCross(addr):
+			pass.Reportf(c.pos, "crossblock",
+				"block-scope %s on an address derived from cross-block bases; block scope only orders within one threadblock — use ScopeDevice", c.name)
+		case !isBlockDep(addr) && !branchesOnBlock:
+			pass.Reportf(c.pos, "crossblock",
+				"block-scope %s on an address that is the same for every block; concurrent blocks will race on it — use ScopeDevice", c.name)
+		}
+	}
+}
+
+// checkFencePublish flags a block-scope fence that is positioned to
+// publish an earlier store to a cross-block address.
+func checkFencePublish(pass *framework.Pass, calls []ctxCall, isCross func(ast.Expr) bool) {
+	for i, c := range calls {
+		if c.name != "Fence" || len(c.call.Args) != 1 || !isScopeBlock(pass, c.call.Args[0]) {
+			continue
+		}
+		for _, prev := range calls[:i] {
+			if (prev.name == "Store" || prev.name == "StoreV" || prev.name == "StoreVec") &&
+				len(prev.call.Args) > 0 && isCross(prev.call.Args[0]) {
+				pass.Reportf(c.pos, "fencepublish",
+					"block-scope fence cannot publish the preceding store to a cross-block address; the consumer is in another block — use Fence(ScopeDevice)")
+				break
+			}
+		}
+	}
+}
+
+// weakAccessAddr returns the address operand of a weak (non-volatile)
+// access, or nil.
+func weakAccessAddr(pass *framework.Pass, c ctxCall) ast.Expr {
+	switch c.name {
+	case "Load", "Store":
+		if len(c.call.Args) > 0 {
+			return c.call.Args[0]
+		}
+	case "LoadVec":
+		if len(c.call.Args) == 2 && isConstFalse(pass, c.call.Args[1]) {
+			return c.call.Args[0]
+		}
+	case "StoreVec":
+		if len(c.call.Args) == 3 && isConstFalse(pass, c.call.Args[2]) {
+			return c.call.Args[0]
+		}
+	}
+	return nil
+}
+
+func isConstFalse(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.String() == "false"
+}
+
+// checkWeakMixed flags weak accesses to an address expression the same
+// kernel also touches atomically. Address equality is syntactic.
+func checkWeakMixed(pass *framework.Pass, calls []ctxCall) {
+	atomic := map[string]string{} // normalized addr -> atomic method name
+	for _, c := range calls {
+		if spec, ok := atomicMethods[c.name]; ok && len(c.call.Args) > spec.addr {
+			atomic[types.ExprString(c.call.Args[spec.addr])] = c.name
+		}
+	}
+	if len(atomic) == 0 {
+		return
+	}
+	for _, c := range calls {
+		addr := weakAccessAddr(pass, c)
+		if addr == nil {
+			continue
+		}
+		if by, ok := atomic[types.ExprString(addr)]; ok {
+			pass.Reportf(c.pos, "weakmixed",
+				"weak %s of %s, which this kernel also accesses with %s; weak accesses to synchronizing addresses race (use LoadV/StoreV or an atomic)",
+				c.name, types.ExprString(addr), by)
+		}
+	}
+}
+
+// checkAcqRel flags kernels that Acquire but never Release.
+func checkAcqRel(pass *framework.Pass, calls []ctxCall) {
+	var firstAcq *ctxCall
+	for i := range calls {
+		switch calls[i].name {
+		case "Acquire":
+			if firstAcq == nil {
+				firstAcq = &calls[i]
+			}
+		case "Release":
+			return
+		}
+	}
+	if firstAcq != nil {
+		pass.Reportf(firstAcq.pos, "acqrel",
+			"Acquire without a matching Release on any path of this kernel; acquire ordering synchronizes with nothing")
+	}
+}
+
+// checkDiverge flags AtLane divergence that is not closed by Converge
+// before a synchronization point or the end of the kernel. Control flow
+// is approximated by source order.
+func checkDiverge(pass *framework.Pass, calls []ctxCall) {
+	for _, c := range calls {
+		if c.name != "AtLane" {
+			continue
+		}
+		var converge token.Pos = token.NoPos
+		for _, d := range calls {
+			if d.name == "Converge" && d.pos > c.pos {
+				converge = d.pos
+				break
+			}
+		}
+		if converge == token.NoPos {
+			pass.Reportf(c.pos, "diverge",
+				"AtLane divergence is never closed by Converge; subsequent code still runs as a diverged warp")
+			continue
+		}
+		for _, d := range calls {
+			if (d.name == "SyncThreads" || d.name == "Fence") && d.pos > c.pos && d.pos < converge {
+				pass.Reportf(c.pos, "diverge",
+					"diverged warp reaches %s before Converge; close the divergence first", d.name)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package scopelint_test
+
+import (
+	"testing"
+
+	"scord/internal/analysis/analysistest"
+	"scord/internal/analysis/scopelint"
+)
+
+// TestScopelint runs the golden suites: one testdata package per
+// violation class, plus the clean negative case.
+func TestScopelint(t *testing.T) {
+	analysistest.Run(t, scopelint.Analyzer,
+		"crossblock", "fencepublish", "weakmixed", "acqrel", "diverge", "clean")
+}

@@ -1,0 +1,35 @@
+// Package acqrel seeds the Section VI acquire/release extension misuse:
+// an Acquire that no path of the kernel ever pairs with a Release.
+package acqrel
+
+import (
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// spinNoRelease acquires a flag that nothing in this kernel releases.
+func spinNoRelease(c *gpu.Ctx, flag, data mem.Addr) {
+	for c.Acquire(flag, gpu.ScopeDevice) != 1 { // want `Acquire without a matching Release on any path`
+		c.Work(10)
+	}
+	_ = c.LoadV(data)
+}
+
+// handshake pairs the Acquire with a Release on the producer path: clean.
+func handshake(c *gpu.Ctx, flag, data mem.Addr, role int) {
+	if role == 0 {
+		c.StoreV(data, 1)
+		c.Release(flag, 1, gpu.ScopeDevice)
+	} else {
+		for c.Acquire(flag, gpu.ScopeDevice) != 1 {
+			c.Work(10)
+		}
+		_ = c.LoadV(data)
+	}
+}
+
+// releaseOnly is clean too: a Release with no Acquire synchronizes with
+// consumers in other kernels.
+func releaseOnly(c *gpu.Ctx, flag mem.Addr) {
+	c.Release(flag, 1, gpu.ScopeDevice)
+}

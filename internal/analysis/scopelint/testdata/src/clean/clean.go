@@ -1,0 +1,53 @@
+// Package clean is the negative case: a realistic, correctly
+// synchronized reduction kernel in the shape of the RED benchmark
+// (Figure 4 done right). scopelint must stay completely silent here.
+package clean
+
+import (
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// reduce is the threadfenceReduction pattern: each warp folds its slice
+// with weak loads (read-only input), warp partials meet at the block
+// barrier, the block leader publishes with a device-scope fence, and the
+// last block to arrive at a device-scope counter folds the partials.
+func reduce(c *gpu.Ctx, in, warpSums, blockSums, counter, result mem.Addr, perWarp int) {
+	ws := c.WarpSize
+	base := in + mem.Addr(c.GlobalWarp()*perWarp*4)
+	var sum uint32
+	for off := 0; off < perWarp; off += ws {
+		for _, v := range c.LoadVec(c.Seq(base+mem.Addr(off*4), ws), false) {
+			sum += v
+		}
+		c.Work(10)
+	}
+	c.Store(warpSums+mem.Addr((c.Block*c.Warps+c.Warp)*4), sum)
+	c.SyncThreads()
+
+	if c.Warp != 0 {
+		return
+	}
+	total := uint32(0)
+	for _, v := range c.LoadVec(c.Seq(warpSums+mem.Addr(c.Block*c.Warps*4), c.Warps), false) {
+		total += v
+	}
+	c.StoreV(blockSums+mem.Addr(c.Block*4), total)
+	c.Fence(gpu.ScopeDevice)
+	if c.AtomicAdd(counter, 1, gpu.ScopeDevice)+1 == uint32(c.Blocks) {
+		final := uint32(0)
+		for _, v := range c.LoadVec(c.Seq(blockSums, c.Blocks), true) {
+			final += v
+		}
+		c.StoreV(result, final)
+	}
+}
+
+// lanes exercises the ITS extension correctly: divergence is closed
+// before the barrier.
+func lanes(c *gpu.Ctx, data, data2 mem.Addr) {
+	c.AtLane(2).Store(data, 1)
+	c.AtLane(19).Store(data2, 2)
+	c.Converge()
+	c.SyncThreads()
+}

@@ -1,0 +1,73 @@
+// Package crossblock seeds the scoped-atomic race class: block-scope
+// atomics on addresses visible to more than one threadblock.
+package crossblock
+
+import (
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// globalWarpIndexed derives the address from the grid-unique warp id, so
+// warps of different blocks interleave on the same array.
+func globalWarpIndexed(c *gpu.Ctx, base mem.Addr) {
+	a := base + mem.Addr(c.GlobalWarp()*4)
+	c.AtomicAdd(a, 1, gpu.ScopeBlock) // want `block-scope AtomicAdd on an address derived from cross-block bases`
+}
+
+// blocksIndexed touches the last block's slot from every block.
+func blocksIndexed(c *gpu.Ctx, table mem.Addr) {
+	last := table + mem.Addr((c.Blocks-1)*4)
+	c.AtomicExch(last, 1, gpu.ScopeBlock) // want `block-scope AtomicExch on an address derived from cross-block bases`
+}
+
+// vectorCross taints the whole address vector through an append.
+func vectorCross(c *gpu.Ctx, base mem.Addr, vals []uint32) {
+	var addrs []mem.Addr
+	for i := 0; i < len(vals); i++ {
+		addrs = append(addrs, base+mem.Addr((c.GlobalWarp()+i)*4))
+	}
+	c.AtomicAddVec(addrs, vals, gpu.ScopeBlock) // want `block-scope AtomicAddVec on an address derived from cross-block bases`
+}
+
+// sharedCounter is the quickstart bug: the address is identical in every
+// block, so concurrent blocks race on their private L1 copies.
+func sharedCounter(c *gpu.Ctx, ctr mem.Addr) {
+	c.AtomicAdd(ctr, 1, gpu.ScopeBlock) // want `block-scope AtomicAdd on an address that is the same for every block`
+}
+
+// blockRelease publishes a cross-block flag with block-scope release
+// ordering; the consumer in another SM never synchronizes with it.
+func blockRelease(c *gpu.Ctx, flag mem.Addr) {
+	f := flag + mem.Addr(c.GlobalWarp()*4)
+	c.Release(f, 1, gpu.ScopeBlock) // want `block-scope Release on an address derived from cross-block bases`
+}
+
+// --- correct usages: no diagnostics --------------------------------------
+
+// ownSlot indexes by the warp's own block id: block-local by construction.
+func ownSlot(c *gpu.Ctx, table mem.Addr) {
+	c.AtomicAdd(table+mem.Addr(c.Block*4), 1, gpu.ScopeBlock)
+}
+
+// deviceScope uses the right scope for a shared counter.
+func deviceScope(c *gpu.Ctx, ctr mem.Addr) {
+	c.AtomicAdd(ctr, 1, gpu.ScopeDevice)
+}
+
+// guarded confines the access to one block, so the shared-address
+// heuristic stands down.
+func guarded(c *gpu.Ctx, ctr mem.Addr) {
+	if c.Block == 0 {
+		c.AtomicAdd(ctr, 1, gpu.ScopeBlock)
+	}
+}
+
+// injected selects the scope at run time (the injection-harness pattern);
+// scope variables are deliberately not traced.
+func injected(c *gpu.Ctx, ctr mem.Addr, narrow bool) {
+	s := gpu.ScopeDevice
+	if narrow {
+		s = gpu.ScopeBlock
+	}
+	c.AtomicAdd(ctr, 1, s)
+}

@@ -1,0 +1,39 @@
+// Package diverge seeds ITS (Section VI) divergence misuse: AtLane
+// divergence that reaches a synchronization point or the kernel's end
+// without a Converge.
+package diverge
+
+import (
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// neverConverges leaves the warp diverged for the rest of the kernel.
+func neverConverges(c *gpu.Ctx, data mem.Addr) {
+	c.AtLane(2).Store(data, 1) // want `AtLane divergence is never closed by Converge`
+}
+
+// syncWhileDiverged hits the block barrier with the warp still diverged.
+func syncWhileDiverged(c *gpu.Ctx, data mem.Addr) {
+	c.AtLane(3).Store(data, 1) // want `diverged warp reaches SyncThreads before Converge`
+	c.SyncThreads()
+	c.Converge()
+}
+
+// fenceWhileDiverged fences with the warp still diverged.
+func fenceWhileDiverged(c *gpu.Ctx, data mem.Addr) {
+	c.AtLane(1).Store(data, 1) // want `diverged warp reaches Fence before Converge`
+	c.Fence(gpu.ScopeDevice)
+	c.Converge()
+}
+
+// --- correct usages: no diagnostics --------------------------------------
+
+// reconverged closes the divergence before synchronizing.
+func reconverged(c *gpu.Ctx, data, data2 mem.Addr) {
+	c.AtLane(2).Store(data, 1)
+	c.AtLane(19).Store(data2, 2)
+	c.Converge()
+	c.SyncThreads()
+	c.Store(data, 3)
+}

@@ -1,0 +1,31 @@
+// Package fencepublish seeds the scoped-fence race class of Figure 4:
+// a block-scope fence positioned to publish a store whose consumer is in
+// another threadblock.
+package fencepublish
+
+import (
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// blockFencePublish stores to a cross-block slot and then fences at block
+// scope — the store never leaves the SM's L1.
+func blockFencePublish(c *gpu.Ctx, out mem.Addr) {
+	slot := out + mem.Addr(c.GlobalWarp()*4)
+	c.StoreV(slot, 1)
+	c.Fence(gpu.ScopeBlock) // want `block-scope fence cannot publish the preceding store to a cross-block address`
+}
+
+// deviceFencePublish is the correct Figure 4 pattern.
+func deviceFencePublish(c *gpu.Ctx, out mem.Addr) {
+	slot := out + mem.Addr(c.GlobalWarp()*4)
+	c.StoreV(slot, 1)
+	c.Fence(gpu.ScopeDevice)
+}
+
+// blockFenceLocal fences at block scope after a block-local store, which
+// is fine: the consumers are in the same block.
+func blockFenceLocal(c *gpu.Ctx, scratch mem.Addr) {
+	c.Store(scratch+mem.Addr(c.Block*4), 7)
+	c.Fence(gpu.ScopeBlock)
+}

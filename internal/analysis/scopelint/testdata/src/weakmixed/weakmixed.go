@@ -1,0 +1,42 @@
+// Package weakmixed seeds the weak-access race class of Table IV (c):
+// plain (weak) loads and stores of an address the kernel also uses for
+// synchronization with atomics.
+package weakmixed
+
+import (
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// weakSpin mixes a weak read-modify-write with atomics on the same
+// counter; the weak accesses may see (or leave) stale L1 values.
+func weakSpin(c *gpu.Ctx, ctr mem.Addr) {
+	v := c.Load(ctr) // want `weak Load of ctr, which this kernel also accesses with AtomicAdd`
+	c.AtomicAdd(ctr, v, gpu.ScopeDevice)
+	c.Store(ctr, v+1) // want `weak Store of ctr, which this kernel also accesses with AtomicAdd`
+}
+
+// weakVector mixes a weak vector load with vector atomics over the same
+// address slice.
+func weakVector(c *gpu.Ctx, base mem.Addr, vals []uint32) {
+	addrs := c.Seq(base, len(vals))
+	_ = c.LoadVec(addrs, false) // want `weak LoadVec of addrs, which this kernel also accesses with AtomicAddVec`
+	c.AtomicAddVec(addrs, vals, gpu.ScopeDevice)
+}
+
+// --- correct usages: no diagnostics --------------------------------------
+
+// disjoint keeps weak data accesses and the synchronizing flag apart.
+func disjoint(c *gpu.Ctx, data, flag mem.Addr) {
+	v := c.Load(data)
+	c.Store(data, v+1)
+	c.AtomicExch(flag, 1, gpu.ScopeDevice)
+}
+
+// volatileMix uses strong (volatile) accesses alongside atomics, which
+// the memory model orders.
+func volatileMix(c *gpu.Ctx, flag mem.Addr) {
+	c.StoreV(flag, 1)
+	_ = c.LoadV(flag)
+	c.AtomicAdd(flag, 0, gpu.ScopeDevice)
+}

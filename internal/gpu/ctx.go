@@ -289,8 +289,28 @@ func (c *Ctx) AtomicReadVec(addrs []mem.Addr, s Scope) []uint32 {
 
 // Seq fills the context's address buffer with n consecutive word addresses
 // starting at base — the fully-coalesced access pattern.
+//
+// The range must lie inside a single allocation; generating addresses past
+// an allocation's end would silently alias whatever region was allocated
+// next, turning an index bug into a phantom race report. Like AtLane and
+// StoreVec, misuse panics with a description rather than propagating bad
+// addresses into the simulation.
 func (c *Ctx) Seq(base mem.Addr, n int) []mem.Addr {
+	if n < 0 {
+		panic(fmt.Sprintf("gpu: Seq(%#x, %d): negative length", uint64(base), n))
+	}
 	c.addrBuf = c.addrBuf[:0]
+	if n == 0 {
+		return c.addrBuf
+	}
+	al, ok := c.dev.mem.Locate(base)
+	if !ok {
+		panic(fmt.Sprintf("gpu: Seq(%#x, %d): base outside every allocation", uint64(base), n))
+	}
+	if end := uint64(base) + uint64(n)*mem.WordBytes; end > uint64(al.Base)+al.Size {
+		panic(fmt.Sprintf("gpu: Seq(%#x, %d): range ends at %#x, past the end of %q (base %#x, %d bytes)",
+			uint64(base), n, end, al.Name, uint64(al.Base), al.Size))
+	}
 	for i := 0; i < n; i++ {
 		c.addrBuf = append(c.addrBuf, base+mem.Addr(i*mem.WordBytes))
 	}

@@ -140,7 +140,7 @@ func runAll(opt Options, sims []Sim) error {
 
 	errs := make([]error, len(sims))
 	timings := make([]JobTiming, len(sims))
-	start := time.Now()
+	start := time.Now() //scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -152,8 +152,9 @@ func runAll(opt Options, sims []Sim) error {
 				if i >= len(sims) {
 					return
 				}
-				t0 := time.Now()
+				t0 := time.Now() //scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
 				errs[i] = sims[i].Run()
+				//scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
 				timings[i] = JobTiming{Label: sims[i].Label, Wall: time.Since(t0)}
 			}
 		}()
@@ -161,6 +162,7 @@ func runAll(opt Options, sims []Sim) error {
 	wg.Wait()
 
 	if opt.Report != nil {
+		//scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
 		opt.Report.add(workers, time.Since(start), timings)
 	}
 	for i, err := range errs {

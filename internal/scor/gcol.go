@@ -346,6 +346,7 @@ func (g *GCOL) Run(d *gpu.Device, active []string) error {
 		}
 		cnt := c.AtomicAdd(coloredCount+mem.Addr(c.Block*4), 0, gpu.ScopeBlock)
 		if publishWeak {
+			//scord:allow(scopelint/weakmixed) the "weak" injection publishes through a weak store on purpose
 			c.Site("gcol.publish").Store(coloredCount+mem.Addr(c.Block*4), cnt)
 		} else {
 			c.Site("gcol.publish").StoreV(coloredCount+mem.Addr(c.Block*4), cnt)

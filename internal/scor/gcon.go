@@ -216,6 +216,7 @@ func (g *GCON) Run(d *gpu.Device, active []string) error {
 		}
 		cnt := c.AtomicAdd(changed+mem.Addr(c.Block*4), 0, gpu.ScopeBlock)
 		if publishWeak {
+			//scord:allow(scopelint/weakmixed) the "weak" injection publishes through a weak store on purpose
 			c.Site("gcon.publish").Store(changed+mem.Addr(c.Block*4), cnt)
 		} else {
 			c.Site("gcon.publish").StoreV(changed+mem.Addr(c.Block*4), cnt)

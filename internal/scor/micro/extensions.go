@@ -94,6 +94,7 @@ func Extensions() []*Micro {
 				c.Site("m.pub").StoreV(a.data, 99)
 				c.AtomicExch(a.flag, 1, gpu.ScopeDevice) // no release ordering
 			} else {
+				//scord:allow(scopelint/acqrel) the injected bug IS the missing Release (plain Exch publish)
 				for c.Acquire(a.flag, gpu.ScopeDevice) != 1 {
 					c.Work(25)
 				}

@@ -170,6 +170,7 @@ func All() []*Micro {
 		specs: dataRace("atom.block-cross", core.RaceScopedAtomic),
 		kern: func(c *gpu.Ctx, a arena, role int) {
 			for i := 0; i < 8; i++ {
+				//scord:allow(scopelint/crossblock) the scenario injects exactly this scoped-atomic race
 				c.Site("m.ctr").AtomicAdd(a.data, 1, gpu.ScopeBlock)
 				c.Work(10)
 			}
@@ -193,6 +194,7 @@ func All() []*Micro {
 		name: "atom.racey.block-then-load", class_: "scoped-atomics", group: "atomics", racey: true,
 		specs: dataRace("atom.block-then-load", core.RaceScopedAtomic),
 		kern: producerConsumer(
+			//scord:allow(scopelint/crossblock) the scenario injects exactly this scoped-atomic race
 			func(c *gpu.Ctx, a arena) { c.Site("m.pub").AtomicExch(a.data, 7, gpu.ScopeBlock) },
 			func(c *gpu.Ctx, a arena) { c.Site("m.sub").LoadV(a.data) },
 		),
@@ -218,6 +220,7 @@ func All() []*Micro {
 		name: "atom.ok.block-same", group: "atomics", sameBlock: true,
 		kern: func(c *gpu.Ctx, a arena, role int) {
 			for i := 0; i < 8; i++ {
+				//scord:allow(scopelint/crossblock) sameBlock scenario: launched on a single block, so block scope covers every warp
 				c.AtomicAdd(a.data, 1, gpu.ScopeBlock)
 				c.Work(10)
 			}
