@@ -1,0 +1,431 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"scord/internal/analysis/framework"
+)
+
+// The tests typecheck a miniature gpu/mem API in memory so the
+// interpreter can be exercised without invoking the go toolchain.
+
+const memStub = `package mem
+
+type Addr int
+`
+
+const gpuStub = `package gpu
+
+import "x/internal/mem"
+
+type Scope int
+
+const (
+	ScopeBlock Scope = iota
+	ScopeDevice
+)
+
+type Ctx struct {
+	Block, Warp, Blocks, Warps, WarpSize int
+}
+
+func (c *Ctx) Load(a mem.Addr) int64                                   { return 0 }
+func (c *Ctx) LoadV(a mem.Addr) int64                                  { return 0 }
+func (c *Ctx) LoadVec(a []mem.Addr, volatile bool) []int64             { return nil }
+func (c *Ctx) Store(a mem.Addr, v int64)                               {}
+func (c *Ctx) StoreV(a mem.Addr, v int64)                              {}
+func (c *Ctx) StoreVec(a []mem.Addr, v []int64, volatile bool)         {}
+func (c *Ctx) AtomicAdd(a mem.Addr, v int64, s Scope) int64            { return 0 }
+func (c *Ctx) AtomicMax(a mem.Addr, v int64, s Scope) int64            { return 0 }
+func (c *Ctx) AtomicCAS(a mem.Addr, cmp, v int64, s Scope) int64       { return 0 }
+func (c *Ctx) AtomicExch(a mem.Addr, v int64, s Scope) int64           { return 0 }
+func (c *Ctx) AtomicAddVec(a []mem.Addr, v int64, s Scope)             {}
+func (c *Ctx) AtomicMaxVec(a []mem.Addr, v int64, s Scope)             {}
+func (c *Ctx) AtomicReadVec(a []mem.Addr, s Scope) []int64             { return nil }
+func (c *Ctx) Acquire(a mem.Addr, s Scope) int64                       { return 0 }
+func (c *Ctx) Release(a mem.Addr, v int64, s Scope)                    {}
+func (c *Ctx) Fence(s Scope)                                           {}
+func (c *Ctx) SyncThreads()                                            {}
+func (c *Ctx) Work(n int)                                              {}
+func (c *Ctx) Seq(base mem.Addr, n int) []mem.Addr                     { return nil }
+func (c *Ctx) Site(s string) *Ctx                                      { return c }
+func (c *Ctx) AtLane(l int) *Ctx                                       { return c }
+func (c *Ctx) Converge()                                               {}
+func (c *Ctx) GlobalWarp() int                                         { return 0 }
+
+type Kernel func(c *Ctx)
+
+type Device struct{}
+
+func (d *Device) Alloc(name string, n int) mem.Addr                    { return 0 }
+func (d *Device) Launch(name string, blocks, tpb int, k Kernel)        {}
+`
+
+type stubImporter struct {
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	return si.std.Import(path)
+}
+
+// buildWorld typechecks mem, gpu and a kernel package from source and
+// wraps them as a dataflow World.
+func buildWorld(t *testing.T, kernSrc string) (*World, *framework.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	si := &stubImporter{pkgs: map[string]*types.Package{}, std: importer.Default()}
+
+	check := func(path, src string) *framework.Package {
+		file, err := parser.ParseFile(fset, path+"/src.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: si}
+		tpkg, err := conf.Check(path, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		si.pkgs[path] = tpkg
+		return &framework.Package{
+			PkgPath: path,
+			Fset:    fset,
+			Files:   []*ast.File{file},
+			Types:   tpkg,
+			Info:    info,
+		}
+	}
+
+	mem := check("x/internal/mem", memStub)
+	gpu := check("x/internal/gpu", gpuStub)
+	kern := check("x/kern", kernSrc)
+	w := NewWorld(mem, gpu, kern)
+	return w, kern
+}
+
+// kernelFunc finds a declared function by name and wraps it for Run.
+func kernelFunc(t *testing.T, pkg *framework.Package, name string) *FuncVal {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return DeclFunc(pkg, fd, nil)
+			}
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func TestAffinityAndProvenance(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func K(c *gpu.Ctx, a mem.Addr) {
+	b0 := a + mem.Addr(c.Block*4)
+	s := b0 + mem.Addr(c.Warp)
+	g := a + mem.Addr(c.GlobalWarp())
+	c.Store(b0, 1)
+	c.Store(s, 2)
+	c.Store(g, 3)
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace = %d ops, want 3", len(res.Trace))
+	}
+	b0, s, g := res.Trace[0].Addr, res.Trace[1].Addr, res.Trace[2].Addr
+	if b0.Aff != AffBlock || b0.Deps.Prov() != ProvWarpDerived {
+		t.Errorf("b0: Aff=%v Prov=%v, want AffBlock/warp-derived", b0.Aff, b0.Deps.Prov())
+	}
+	if s.Aff != AffNone || s.Deps&DepWarp == 0 {
+		t.Errorf("s: Aff=%v Deps=%v, want AffNone with warp dep", s.Aff, s.Deps)
+	}
+	if !g.CrossDerived() || g.Deps.Prov() != ProvCrossBlock {
+		t.Errorf("g: Deps=%v, want cross-block provenance", g.Deps)
+	}
+	for i, op := range res.Trace {
+		if len(op.Addr.Bases) != 1 || op.Addr.Bases[0][0] != '$' {
+			t.Errorf("op %d: bases=%v, want the $a parameter base", i, op.Addr.Bases)
+		}
+	}
+}
+
+func TestLoopWideningAndBarrierPhases(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func K(c *gpu.Ctx, a mem.Addr) {
+	c.Store(a, 1)
+	c.SyncThreads()
+	for i := 0; i < 4; i++ {
+		c.Store(a+mem.Addr(i), 2)
+	}
+	c.SyncThreads()
+	c.Store(a, 3)
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	if res.Fuzzy {
+		t.Error("constant-trip loop must not make phases fuzzy")
+	}
+	var phases []int
+	var loopDeps []Dep
+	for _, op := range res.Trace {
+		if op.Kind == OpStore {
+			phases = append(phases, op.Phase)
+			loopDeps = append(loopDeps, op.Addr.Deps)
+		}
+	}
+	// Loop body is interpreted twice: store, store(×2 in loop), store.
+	if len(phases) != 4 {
+		t.Fatalf("stores = %d, want 4", len(phases))
+	}
+	if phases[0] != 0 || phases[1] != 1 || phases[3] != 2 {
+		t.Errorf("phases = %v, want [0 1 1 2]", phases)
+	}
+	if loopDeps[2]&DepLoop == 0 {
+		t.Errorf("second loop pass addr deps = %v, want DepLoop widening", loopDeps[2])
+	}
+}
+
+func TestFuzzyBarrierInUnboundedLoop(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func K(c *gpu.Ctx, a mem.Addr) {
+	for c.Load(a) != 0 {
+		c.SyncThreads()
+	}
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	if !res.Fuzzy {
+		t.Error("barrier in data-dependent loop must mark phases fuzzy")
+	}
+}
+
+func TestGuardsAndPins(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func K(c *gpu.Ctx, a mem.Addr, flag bool) {
+	if c.Warp == 0 {
+		c.Store(a, 1)
+	}
+	if c.Block == 1 {
+		c.Store(a, 2)
+	}
+	if flag {
+		c.Store(a, 3)
+	}
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace = %d ops, want 3", len(res.Trace))
+	}
+	if g := res.Trace[0].Guards; len(g) != 1 || g[0].Pin != PinWarp || g[0].Key != "0" {
+		t.Errorf("warp guard = %+v, want PinWarp key 0", g)
+	}
+	if g := res.Trace[1].Guards; len(g) != 1 || g[0].Pin != PinBlock {
+		t.Errorf("block guard = %+v, want PinBlock", g)
+	}
+	if !res.Trace[2].Conditional() {
+		t.Error("flag-guarded store must be Conditional")
+	}
+}
+
+func TestLockInference(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func lock(c *gpu.Ctx, l mem.Addr) {
+	for i := 0; i < 100; i++ {
+		if c.AtomicCAS(l, 0, 1, gpu.ScopeDevice) == 0 {
+			return
+		}
+	}
+}
+
+func K(c *gpu.Ctx, a, l mem.Addr) {
+	lock(c, l)
+	c.Fence(gpu.ScopeDevice)
+	v := c.Load(a)
+	c.Store(a, v+1)
+	c.Fence(gpu.ScopeDevice)
+	c.AtomicExch(l, 0, gpu.ScopeDevice)
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	var cs *Op
+	for _, op := range res.Trace {
+		if op.Kind == OpStore {
+			cs = op
+		}
+	}
+	if cs == nil {
+		t.Fatal("no store recorded")
+	}
+	if len(cs.Locks) != 1 {
+		t.Fatalf("store holds %d locks, want 1", len(cs.Locks))
+	}
+	li := cs.Locks[0]
+	if !li.CasScope.MayDevice() || li.CasScope.MayBlock() {
+		t.Errorf("cas scope = %v, want {Device}", li.CasScope)
+	}
+	if li.AcqFenceMissing || li.AcqFenceMaybe {
+		t.Errorf("acquire fence flags = missing:%v maybe:%v, want clean", li.AcqFenceMissing, li.AcqFenceMaybe)
+	}
+	if !li.Released || li.RelFenceMissing || !li.RelExch.MayDevice() {
+		t.Errorf("release = %+v, want released with device fence+exch", li)
+	}
+}
+
+func TestScopeJoinAcrossBranches(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func K(c *gpu.Ctx, a mem.Addr, inject bool) {
+	s := gpu.ScopeDevice
+	if inject {
+		s = gpu.ScopeBlock
+	}
+	c.AtomicAdd(a, 1, s)
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	if len(res.Trace) != 1 {
+		t.Fatalf("trace = %d ops, want 1", len(res.Trace))
+	}
+	sc := res.Trace[0].Scope
+	if !sc.MayBlock() || !sc.MayDevice() {
+		t.Errorf("scope = %v, want {Block,Device}", sc)
+	}
+}
+
+func TestFieldJoinResolvesAllocs(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+type arena struct {
+	data mem.Addr
+	flag mem.Addr
+}
+
+func setup(d *gpu.Device) arena {
+	return arena{
+		data: d.Alloc("m.data", 32),
+		flag: d.Alloc("m.flag", 1),
+	}
+}
+
+func K(c *gpu.Ctx, a arena) {
+	c.Store(a.data, 1)
+	c.AtomicAdd(a.flag, 1, gpu.ScopeDevice)
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace = %d ops, want 2", len(res.Trace))
+	}
+	if b := res.Trace[0].Addr.Bases; len(b) != 1 || b[0] != "m.data" {
+		t.Errorf("data bases = %v, want [m.data]", b)
+	}
+	if b := res.Trace[1].Addr.Bases; len(b) != 1 || b[0] != "m.flag" {
+		t.Errorf("flag bases = %v, want [m.flag]", b)
+	}
+}
+
+func TestHelperInliningAndDivergence(t *testing.T) {
+	w, kern := buildWorld(t, `package kern
+
+import (
+	"x/internal/gpu"
+	"x/internal/mem"
+)
+
+func bump(c *gpu.Ctx, a mem.Addr) {
+	c.AtomicAdd(a, 1, gpu.ScopeBlock)
+}
+
+func K(c *gpu.Ctx, a mem.Addr) {
+	bump(c, a)
+	c.AtLane(0).Store(a, 1)
+	c.AtLane(1).Store(a+1, 2)
+	c.Converge()
+	c.Store(a, 3)
+}
+`)
+	res := Run(w, kernelFunc(t, kern, "K"), nil)
+	var atomics, stores []*Op
+	for _, op := range res.Trace {
+		switch op.Kind {
+		case OpAtomic:
+			atomics = append(atomics, op)
+		case OpStore:
+			stores = append(stores, op)
+		}
+	}
+	if len(atomics) != 1 {
+		t.Fatalf("inlined helper atomics = %d, want 1", len(atomics))
+	}
+	if !atomics[0].Scope.OnlyBlock() {
+		t.Errorf("helper atomic scope = %v, want {Block}", atomics[0].Scope)
+	}
+	if len(stores) != 3 {
+		t.Fatalf("stores = %d, want 3", len(stores))
+	}
+	if stores[0].Lane == nil || *stores[0].Lane != 0 || stores[1].Lane == nil || *stores[1].Lane != 1 {
+		t.Errorf("lanes = %v %v, want 0 and 1", stores[0].Lane, stores[1].Lane)
+	}
+	if stores[0].Converged != stores[1].Converged {
+		t.Error("diverged stores must share a convergence region")
+	}
+	if stores[2].Lane != nil || stores[2].Converged == stores[0].Converged {
+		t.Error("post-Converge store must be lane-free in a new region")
+	}
+}

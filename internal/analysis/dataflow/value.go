@@ -1,0 +1,334 @@
+// Package dataflow is a small flow-sensitive abstract interpretation
+// layer over kernel ASTs. It tracks, for every expression a kernel
+// computes, an address-provenance lattice (block-invariant /
+// warp-derived / cross-block / unknown), the set of device allocations
+// the value may point into, the synchronization scopes a scope-typed
+// value may take, and whether an address is an affine function of
+// c.Block (and therefore partitioned between blocks).
+//
+// The interpreter propagates these facts through assignments, loops,
+// conditionals and gpu.Ctx.Seq-derived index arithmetic, with an
+// intraprocedural fixpoint (loop bodies are interpreted to
+// stabilization) plus one level of call summaries for kernel helper
+// functions: a call to a function with a *gpu.Ctx parameter whose body
+// is available anywhere in the loaded World is interpreted inline.
+//
+// scopelint consumes the per-kernel fact stream to replace its
+// source-order taint heuristics; racepred consumes whole-benchmark
+// fact streams to enumerate candidate race pairs.
+package dataflow
+
+import (
+	"sort"
+	"strings"
+)
+
+// Dep is a bitset of the identity sources a value derives from.
+type Dep uint16
+
+const (
+	// DepBlock marks values derived from c.Block: they differ between
+	// blocks but are uniform within one.
+	DepBlock Dep = 1 << iota
+	// DepWarp marks values derived from c.Warp: they differ between the
+	// warps of one block.
+	DepWarp
+	// DepCross marks values derived from cross-block bases —
+	// c.GlobalWarp() or c.Blocks — the taint sources of the Figure 3
+	// work-stealing shape.
+	DepCross
+	// DepParam marks values derived from a plain integer parameter of
+	// the kernel (role/thread ids computed from block identity by the
+	// launch wrapper).
+	DepParam
+	// DepLoop marks loop-carried values (induction variables and
+	// anything modified inside a loop).
+	DepLoop
+	// DepMem marks values loaded from simulated device memory.
+	DepMem
+	// DepUnknown marks values the interpreter cannot analyze (host
+	// computation, opaque calls).
+	DepUnknown
+)
+
+// Prov is the four-point address-provenance lattice.
+type Prov uint8
+
+const (
+	// ProvBlockInvariant: the value is the same for every warp of every
+	// block.
+	ProvBlockInvariant Prov = iota
+	// ProvWarpDerived: the value varies with warp or block identity but
+	// is derived from block-local coordinates only.
+	ProvWarpDerived
+	// ProvCrossBlock: the value derives from cross-block bases
+	// (GlobalWarp(), c.Blocks).
+	ProvCrossBlock
+	// ProvUnknown: the value depends on memory or unanalyzable inputs.
+	ProvUnknown
+)
+
+// Prov collapses a dependency set onto the provenance lattice.
+func (d Dep) Prov() Prov {
+	switch {
+	case d&(DepUnknown|DepMem) != 0:
+		return ProvUnknown
+	case d&DepCross != 0:
+		return ProvCrossBlock
+	case d&(DepBlock|DepWarp|DepParam|DepLoop) != 0:
+		return ProvWarpDerived
+	default:
+		return ProvBlockInvariant
+	}
+}
+
+func (p Prov) String() string {
+	switch p {
+	case ProvBlockInvariant:
+		return "block-invariant"
+	case ProvWarpDerived:
+		return "warp-derived"
+	case ProvCrossBlock:
+		return "cross-block"
+	default:
+		return "unknown"
+	}
+}
+
+// Aff classifies an address as an affine function of block identity.
+type Aff uint8
+
+const (
+	// AffInvariant: the address contains no block term — it is the same
+	// on every block.
+	AffInvariant Aff = iota
+	// AffBlock: the address is invariant + c.Block·k with k ≠ 0 —
+	// different blocks address disjoint slots.
+	AffBlock
+	// AffNone: neither form holds (warp terms, loop terms, memory
+	// inputs, division of a block term, ...).
+	AffNone
+)
+
+// ScopeSet is the set of scope constants a scope-typed value may hold.
+type ScopeSet uint8
+
+const (
+	// ScopeBlockBit marks that the value may be gpu.ScopeBlock.
+	ScopeBlockBit ScopeSet = 1 << iota
+	// ScopeDeviceBit marks that the value may be gpu.ScopeDevice.
+	ScopeDeviceBit
+)
+
+// MayBlock reports whether the value may be block scope.
+func (s ScopeSet) MayBlock() bool { return s&ScopeBlockBit != 0 }
+
+// MayDevice reports whether the value may be device scope.
+func (s ScopeSet) MayDevice() bool { return s&ScopeDeviceBit != 0 }
+
+// OnlyBlock reports whether the value is definitely block scope.
+func (s ScopeSet) OnlyBlock() bool { return s == ScopeBlockBit }
+
+func (s ScopeSet) String() string {
+	switch s {
+	case ScopeBlockBit:
+		return "{Block}"
+	case ScopeDeviceBit:
+		return "{Device}"
+	case ScopeBlockBit | ScopeDeviceBit:
+		return "{Block,Device}"
+	default:
+		return "{}"
+	}
+}
+
+// Value is the abstract value of one expression.
+type Value struct {
+	Deps   Dep
+	Aff    Aff
+	Bases  []string // sorted allocation/parameter bases the value may point into
+	Scopes ScopeSet // possible scope constants, for scope-typed values
+	Const  *int64   // concrete integer, when statically known
+	Funcs  []*FuncVal
+	Fields map[string]Value // per-field values of a struct composite
+	// AnyBase marks an address whose pointees could not be resolved at
+	// all: it may alias any allocation.
+	AnyBase bool
+}
+
+// constVal returns a Value holding a known integer.
+func constVal(n int64) Value { return Value{Const: &n} }
+
+// IsConst reports the value's concrete integer, if known.
+func (v Value) IsConst() (int64, bool) {
+	if v.Const != nil {
+		return *v.Const, true
+	}
+	return 0, false
+}
+
+// BlockVarying reports whether the value varies with block identity in
+// the sense of scopelint's taint B: derived from block, warp, cross or
+// integer-parameter sources.
+func (v Value) BlockVarying() bool {
+	return v.Deps&(DepBlock|DepWarp|DepCross|DepParam) != 0
+}
+
+// CrossDerived reports whether the value derives from cross-block bases
+// (scopelint's taint A).
+func (v Value) CrossDerived() bool { return v.Deps&DepCross != 0 }
+
+// MayAlias reports whether two address values can refer to overlapping
+// memory: their base sets intersect (or either is unresolved).
+func (a Value) MayAlias(b Value) bool {
+	if a.AnyBase || b.AnyBase {
+		return len(a.Bases) > 0 || len(b.Bases) > 0 || a.AnyBase && b.AnyBase
+	}
+	for _, x := range a.Bases {
+		for _, y := range b.Bases {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CommonBases returns the sorted intersection of two base sets.
+func (a Value) CommonBases(b Value) []string {
+	var out []string
+	for _, x := range a.Bases {
+		for _, y := range b.Bases {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AllocBases returns the bases that are device allocation names
+// (excluding the $-prefixed placeholder bases of unresolved
+// parameters).
+func AllocBases(bases []string) []string {
+	var out []string
+	for _, b := range bases {
+		if !strings.HasPrefix(b, "$") {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// mergeBases returns the sorted union of two base lists.
+func mergeBases(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// join is the lattice join of two values.
+func join(a, b Value) Value {
+	out := Value{
+		Deps:    a.Deps | b.Deps,
+		Bases:   mergeBases(a.Bases, b.Bases),
+		Scopes:  a.Scopes | b.Scopes,
+		AnyBase: a.AnyBase || b.AnyBase,
+	}
+	if a.Aff == b.Aff {
+		out.Aff = a.Aff
+	} else {
+		out.Aff = AffNone
+	}
+	if a.Const != nil && b.Const != nil && *a.Const == *b.Const {
+		out.Const = a.Const
+	}
+	out.Funcs = append(out.Funcs, a.Funcs...)
+	for _, f := range b.Funcs {
+		dup := false
+		for _, g := range out.Funcs {
+			if g == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Funcs = append(out.Funcs, f)
+		}
+	}
+	if len(a.Fields) > 0 || len(b.Fields) > 0 {
+		out.Fields = make(map[string]Value, len(a.Fields)+len(b.Fields))
+		for k, v := range a.Fields {
+			out.Fields[k] = v
+		}
+		for k, v := range b.Fields {
+			if prev, ok := out.Fields[k]; ok {
+				out.Fields[k] = join(prev, v)
+			} else {
+				out.Fields[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// eq reports whether two values are equal abstract states (used by the
+// loop fixpoint to detect stabilization).
+func eq(a, b Value) bool {
+	if a.Deps != b.Deps || a.Aff != b.Aff || a.Scopes != b.Scopes || a.AnyBase != b.AnyBase {
+		return false
+	}
+	if (a.Const == nil) != (b.Const == nil) || (a.Const != nil && *a.Const != *b.Const) {
+		return false
+	}
+	if len(a.Bases) != len(b.Bases) || len(a.Funcs) != len(b.Funcs) || len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Bases {
+		if a.Bases[i] != b.Bases[i] {
+			return false
+		}
+	}
+	for i := range a.Funcs {
+		if a.Funcs[i] != b.Funcs[i] {
+			return false
+		}
+	}
+	for k, v := range a.Fields {
+		w, ok := b.Fields[k]
+		if !ok || !eq(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// dropAffIfMixed clears the block-affine classification of a value
+// whose dependency set contains non-block identity sources. Only pure
+// (invariant + block) combinations keep an Aff other than AffNone.
+func dropAffIfMixed(v Value) Value {
+	if v.Deps&(DepWarp|DepCross|DepLoop|DepMem|DepUnknown|DepParam) != 0 {
+		v.Aff = AffNone
+	}
+	return v
+}

@@ -37,12 +37,20 @@ var Analyzer = &framework.Analyzer{
 }
 
 // deterministicCore lists the packages whose behavior must be a pure
-// function of (config, seed).
+// function of (config, seed). The contract covers the whole timing
+// model: the engine and harness, the stats pipeline, the race-detection
+// core, and every memory-system component whose latencies feed
+// simulated cycles.
 var deterministicCore = map[string]bool{
-	"scord/internal/engine":  true,
-	"scord/internal/harness": true,
-	"scord/internal/stats":   true,
-	"scord/internal/core":    true,
+	"scord/internal/engine":    true,
+	"scord/internal/harness":   true,
+	"scord/internal/stats":     true,
+	"scord/internal/core":      true,
+	"scord/internal/cache":     true,
+	"scord/internal/noc":       true,
+	"scord/internal/dram":      true,
+	"scord/internal/mem":       true,
+	"scord/internal/detectors": true,
 }
 
 func inDeterministicCore(pkgPath string) bool { return deterministicCore[pkgPath] }

@@ -1,0 +1,92 @@
+package framework
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under t.TempDir. files maps
+// module-relative paths to contents; a go.mod is added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module m\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadSyntaxError pins that a package that does not parse surfaces
+// as a Load error instead of a silent skip.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc Oops( {\n",
+	})
+	pkgs, err := Load(dir, "./broken")
+	if err == nil {
+		t.Fatalf("Load of a syntactically broken package succeeded: %+v", pkgs)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q does not identify the broken package", err)
+	}
+}
+
+// TestLoadMissingExportData pins the ExportImporter error path: a
+// dependency that fails to compile has no export data, so type-checking
+// its importer must fail loudly.
+func TestLoadMissingExportData(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go":   "package bad\n\nvar X int = \"not an int\"\n",
+		"uses/uses.go": "package uses\n\nimport \"m/bad\"\n\nvar Y = bad.X\n",
+	})
+	pkgs, err := Load(dir, "./uses")
+	if err == nil {
+		t.Fatalf("Load with an uncompilable dependency succeeded: %+v", pkgs)
+	}
+}
+
+// TestLoadDefaultPattern pins that zero patterns default to ./... and
+// return the module's packages.
+func TestLoadDefaultPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nconst A = 1\n",
+		"b/b.go": "package b\n\nconst B = 2\n",
+	})
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load with no patterns: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.PkgPath)
+	}
+	if len(paths) != 2 || paths[0] != "m/a" || paths[1] != "m/b" {
+		t.Errorf("loaded %v, want [m/a m/b] sorted", paths)
+	}
+}
+
+// TestLoadEmptyStringPattern pins the behavior of an explicit empty
+// pattern: go list resolves it to ".", which errors here because the
+// module root holds no Go files. It is NOT rewritten to ./... — only a
+// fully absent pattern list gets that default.
+func TestLoadEmptyStringPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nconst A = 1\n",
+	})
+	pkgs, err := Load(dir, "")
+	if err == nil {
+		t.Fatalf("Load(\"\") succeeded with %d packages, want the no-Go-files error", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("Load(\"\") error = %q, want a no-Go-files error", err)
+	}
+}

@@ -17,14 +17,28 @@ import (
 // ("scopelint/crossblock"). The directive suppresses matching findings on
 // its own line and on the following line, so it can trail the flagged
 // statement or sit on its own line above it. The reason text is required
-// by convention (reviewed by humans), not enforced.
-var allowRE = regexp.MustCompile(`scord:allow\(([^)]+)\)`)
+// by convention (reviewed by humans), not enforced. Only comments whose
+// text begins with the directive count: prose that merely mentions
+// //scord:allow(...) syntax is not a suppression.
+var allowRE = regexp.MustCompile(`^//\s*scord:allow\(([^)]+)\)`)
 
-// allowSet records, per file and line, the suppression names in force.
-type allowSet map[string]map[int][]string
+// allowDirective is one suppression name from one //scord:allow comment,
+// tracking whether it suppressed anything.
+type allowDirective struct {
+	name string
+	pos  token.Position
+	used bool
+}
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	as := allowSet{}
+// allowSet records, per file and line, the suppression directives in
+// force, and every directive for stale reporting.
+type allowSet struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	as := &allowSet{byLine: map[string]map[int][]*allowDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -33,14 +47,14 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Slash)
-				names := strings.Split(m[1], ",")
-				for i := range names {
-					names[i] = strings.TrimSpace(names[i])
+				if as.byLine[pos.Filename] == nil {
+					as.byLine[pos.Filename] = map[int][]*allowDirective{}
 				}
-				if as[pos.Filename] == nil {
-					as[pos.Filename] = map[int][]string{}
+				for _, name := range strings.Split(m[1], ",") {
+					d := &allowDirective{name: strings.TrimSpace(name), pos: pos}
+					as.byLine[pos.Filename][pos.Line] = append(as.byLine[pos.Filename][pos.Line], d)
+					as.all = append(as.all, d)
 				}
-				as[pos.Filename][pos.Line] = append(as[pos.Filename][pos.Line], names...)
 			}
 		}
 	}
@@ -48,27 +62,64 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 }
 
 // suppressed reports whether a finding is covered by an allow directive on
-// its line or the line above.
-func (as allowSet) suppressed(f Finding) bool {
-	lines := as[f.Position.Filename]
+// its line or the line above, marking every covering directive used.
+func (as *allowSet) suppressed(f Finding) bool {
+	lines := as.byLine[f.Position.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, l := range []int{f.Position.Line, f.Position.Line - 1} {
-		for _, name := range lines[l] {
-			if name == f.Analyzer || (f.Category != "" && name == f.Analyzer+"/"+f.Category) {
-				return true
+		for _, d := range lines[l] {
+			if d.name == f.Analyzer || (f.Category != "" && d.name == f.Analyzer+"/"+f.Category) {
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns one finding per directive that suppressed nothing, under
+// the synthetic analyzer "suppress", category "stale". As analyzers get
+// more precise, suppressions rot; reporting them keeps the allow
+// inventory honest.
+func (as *allowSet) stale() []Finding {
+	var out []Finding
+	for _, d := range as.all {
+		if d.used {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "suppress",
+			Category: "stale",
+			Position: d.pos,
+			Pos:      d.pos.String(),
+			Message:  fmt.Sprintf("//scord:allow(%s) no longer suppresses any finding; remove the stale directive", d.name),
+		})
+	}
+	return out
 }
 
 // RunAnalyzers applies each analyzer to each package (honoring
 // Analyzer.Match) and returns the unsuppressed findings sorted by
 // position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := runAnalyzers(pkgs, analyzers)
+	return findings, err
+}
+
+// RunAnalyzersChecked is RunAnalyzers plus stale-suppression detection:
+// the second result holds one finding (analyzer "suppress", category
+// "stale") for every //scord:allow directive that suppressed nothing
+// across the whole run.
+func RunAnalyzersChecked(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Finding, error) {
+	return runAnalyzers(pkgs, analyzers)
+}
+
+func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Finding, error) {
 	var findings []Finding
+	var stale []Finding
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
@@ -96,10 +147,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				}
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+				return nil, nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
 			}
 		}
+		stale = append(stale, allows.stale()...)
 	}
+	sortFindings(findings)
+	sortFindings(stale)
+	return findings, stale, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Position, findings[j].Position
 		if a.Filename != b.Filename {
@@ -113,7 +171,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return findings[i].Message < findings[j].Message
 	})
-	return findings, nil
 }
 
 // Main is the scord-lint entry point: parse flags, load the requested
@@ -142,11 +199,13 @@ func Main(out, errOut io.Writer, args []string, analyzers ...*Analyzer) int {
 		fmt.Fprintln(errOut, "scord-lint:", err)
 		return 2
 	}
-	findings, err := RunAnalyzers(pkgs, analyzers)
+	findings, stale, err := RunAnalyzersChecked(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(errOut, "scord-lint:", err)
 		return 2
 	}
+	findings = append(findings, stale...)
+	sortFindings(findings)
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")

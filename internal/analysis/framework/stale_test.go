@@ -1,0 +1,87 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaleAllows pins stale-suppression detection: every
+// //scord:allow directive that suppressed nothing is reported once,
+// under analyzer "suppress", category "stale".
+func TestStaleAllows(t *testing.T) {
+	pkg := parsePkg(t, suppressionSrc)
+	findings, stale, err := RunAnalyzersChecked([]*Package{pkg}, []*Analyzer{badFuncs})
+	if err != nil {
+		t.Fatalf("RunAnalyzersChecked: %v", err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want 3 (stale detection must not change regular findings)", len(findings))
+	}
+	// "fake" (trailing) and "fake/cat" (line above) suppress; "other"
+	// and "fake/othercat" match nothing.
+	var names []string
+	for _, f := range stale {
+		if f.Analyzer != "suppress" || f.Category != "stale" {
+			t.Errorf("stale finding tagged %s/%s, want suppress/stale", f.Analyzer, f.Category)
+		}
+		if !strings.Contains(f.Message, "no longer suppresses any finding") {
+			t.Errorf("stale message = %q", f.Message)
+		}
+		open := strings.Index(f.Message, "(")
+		close := strings.Index(f.Message, ")")
+		names = append(names, f.Message[open+1:close])
+	}
+	want := []string{"other", "fake/othercat"}
+	if len(names) != len(want) {
+		t.Fatalf("stale directives = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("stale[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestAllowDirectiveIsAnchored pins that only comments beginning with
+// the directive are suppressions: prose that mentions //scord:allow
+// syntax neither suppresses nor rots.
+func TestAllowDirectiveIsAnchored(t *testing.T) {
+	src := `package p
+
+// This doc comment explains that //scord:allow(fake) comments silence
+// findings; it is prose, not a directive.
+func BadDoc() {}
+`
+	pkg := parsePkg(t, src)
+	findings, stale, err := RunAnalyzersChecked([]*Package{pkg}, []*Analyzer{badFuncs})
+	if err != nil {
+		t.Fatalf("RunAnalyzersChecked: %v", err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "BadDoc") {
+		t.Fatalf("findings = %+v, want the unsuppressed BadDoc finding", findings)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %+v, want none (prose mention is not a directive)", stale)
+	}
+}
+
+// TestMultiNameDirective pins per-name staleness within one directive:
+// //scord:allow(a,b) where only a suppresses leaves b stale.
+func TestMultiNameDirective(t *testing.T) {
+	src := `package p
+
+//scord:allow(fake, unusedname) demo
+func BadMulti() {}
+`
+	pkg := parsePkg(t, src)
+	findings, stale, err := RunAnalyzersChecked([]*Package{pkg}, []*Analyzer{badFuncs})
+	if err != nil {
+		t.Fatalf("RunAnalyzersChecked: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %+v, want none (fake suppresses BadMulti)", findings)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "(unusedname)") {
+		t.Fatalf("stale = %+v, want exactly the unusedname directive", stale)
+	}
+}

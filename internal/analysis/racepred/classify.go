@@ -1,0 +1,374 @@
+package racepred
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"scord/internal/analysis/dataflow"
+	"scord/internal/core"
+)
+
+// classifyRoot enumerates the candidate executor pairs of one launch and
+// classifies each against the Table IV taxonomy.
+func classifyRoot(col *collector, rt *root) {
+	for _, tr := range rt.traces {
+		itsScan(col, rt.bench, tr)
+	}
+	if rt.cross {
+		ta, tb := rt.traces[0], rt.traces[1]
+		for _, x := range ta.Trace {
+			for _, y := range tb.Trace {
+				for _, r := range rt.rels {
+					classifyPair(col, rt.bench, x, y, r, false, ta, tb)
+				}
+			}
+		}
+		return
+	}
+	t := rt.traces[0]
+	for i, x := range t.Trace {
+		for j := i; j < len(t.Trace); j++ {
+			for _, r := range rt.rels {
+				classifyPair(col, rt.bench, x, t.Trace[j], r, true, t, t)
+			}
+		}
+	}
+}
+
+// itsScan predicts Independent-Thread-Scheduling races: two lane-tagged
+// conflicting accesses of one warp inside one divergence region.
+func itsScan(col *collector, bench string, tr *dataflow.Result) {
+	ops := tr.Trace
+	for i, x := range ops {
+		for _, y := range ops[i+1:] {
+			if x.Lane == nil || y.Lane == nil || *x.Lane == *y.Lane {
+				continue
+			}
+			if x.Converged != y.Converged {
+				continue // a Converge point reorders the warp between them
+			}
+			if !x.Mem() || !y.Mem() || (!x.Write && !y.Write) {
+				continue
+			}
+			bases := dataflow.AllocBases(x.Addr.CommonBases(y.Addr))
+			if len(bases) == 0 {
+				continue
+			}
+			col.add(bench, bases, []core.RaceKind{core.RaceDivergedWarp},
+				x.Conditional() || y.Conditional(), pairSites(x, y))
+		}
+	}
+}
+
+// classifyPair decides what the dynamic detector could report for two
+// abstract executors issuing ops x and y under relation r.
+func classifyPair(col *collector, bench string, x, y *dataflow.Op, r Rel, sameTrace bool, tx, ty *dataflow.Result) {
+	if !x.Mem() || !y.Mem() {
+		return
+	}
+	if !x.Write && !y.Write {
+		return
+	}
+	if sameTrace && x.Lane != nil && y.Lane != nil {
+		return // lane-tagged pairs of one warp belong to itsScan
+	}
+	bases := dataflow.AllocBases(x.Addr.CommonBases(y.Addr))
+	if len(bases) == 0 {
+		return
+	}
+
+	// Executor feasibility: pins restrict which identities run an op.
+	if sharedTicket(x, y) {
+		return // a unique-ticket guard admits at most one executor total
+	}
+	switch r {
+	case CrossBlock:
+		if pinnedSame(x, y, dataflow.PinBlock) {
+			return // both pinned to one block: never in different blocks
+		}
+		// Per-block partitioned addresses: different blocks touch
+		// disjoint slots of the same allocation.
+		if x.Addr.Aff == dataflow.AffBlock && y.Addr.Aff == dataflow.AffBlock {
+			return
+		}
+	case SameBlock:
+		if pinnedSame(x, y, dataflow.PinWarp) {
+			return // both pinned to one warp: a single thread, program order
+		}
+		// Barrier phases totally order same-block accesses unless a
+		// barrier ran inside an unbounded loop (fuzzy phases).
+		if x.Phase != y.Phase && !tx.Fuzzy && !ty.Fuzzy {
+			return
+		}
+	}
+
+	pairCond := x.Conditional() || y.Conditional()
+
+	// Table IV (d): a block-scope atomic conflicting cross-block. This
+	// fires regardless of locks or fences — the scoped metadata never
+	// leaves the SM — unless a later plain store by the same executor
+	// republishes the location (overwriting the scoped mark) before any
+	// cross-block reader.
+	if r == CrossBlock {
+		for _, side := range [2]struct {
+			op *dataflow.Op
+			tr *dataflow.Result
+		}{{x, tx}, {y, ty}} {
+			if side.op.Atomic() && side.op.Scope.MayBlock() && !republished(side.op, side.tr) {
+				col.add(bench, bases, []core.RaceKind{core.RaceScopedAtomic},
+					side.op.Scope.MayDevice() || pairCond, pairSites(x, y))
+			}
+		}
+	}
+
+	if x.Atomic() && y.Atomic() {
+		// Atomics are strong and totally ordered at adequate scope; only
+		// the scoped-atomic condition (already emitted) applies. This
+		// covers the lock words themselves: their CAS/Exch traffic is
+		// not a lock-discipline violation.
+		return
+	}
+
+	// Lock discipline (Table IV (e)/(f)).
+	if lx, ly, ok := commonLock(x, y, r); ok {
+		if !lockTrouble(lx) && !lockTrouble(ly) {
+			return // a clean common lock orders the critical sections
+		}
+		col.add(bench, bases, csKinds(r), pairCond, pairSites(x, y))
+		return
+	}
+	if len(x.Locks) > 0 || len(y.Locks) > 0 {
+		// Lock-mediated data touched without a common lock (an unlocked
+		// bypass, or per-executor locks): the lock conditions fire.
+		col.add(bench, bases, csKinds(r), pairCond, pairSites(x, y))
+		return
+	}
+
+	// Fence/synchronization machinery (Table IV (a)/(b)/(c)).
+	strength, pathCond := 0, false
+	if x.Write {
+		s, c := syncStrength(x, y, r, tx, ty)
+		strength, pathCond = betterPath(strength, pathCond, s, c)
+	}
+	if y.Write {
+		s, c := syncStrength(y, x, r, ty, tx)
+		strength, pathCond = betterPath(strength, pathCond, s, c)
+	}
+	weakAccess := x.Weak() || y.Weak()
+	switch strength {
+	case 2: // definitely ordered for strong accesses
+		if weakAccess {
+			// Fences order only strong operations: a weak access on
+			// either side stays racy (not-strong-access).
+			col.add(bench, bases, []core.RaceKind{core.RaceNotStrong}, pairCond, pairSites(x, y))
+		}
+	case 1: // ordered only if the (scoped) fence reaches far enough
+		ks := []core.RaceKind{core.RaceMissingDeviceFence}
+		if weakAccess {
+			ks = append(ks, core.RaceNotStrong)
+		}
+		col.add(bench, bases, ks, pairCond || pathCond, pairSites(x, y))
+	default: // no synchronization path at all
+		col.add(bench, bases, unsyncKinds(r), pairCond, pairSites(x, y))
+	}
+}
+
+// csKinds is the kind superset a broken or absent common lock can
+// produce, by relation (the detector reports whichever condition of
+// Table IV fires first for the interleaving it observes).
+func csKinds(r Rel) []core.RaceKind {
+	ks := []core.RaceKind{
+		core.RaceNotStrong, core.RaceMissingLockLoad, core.RaceMissingLockStore,
+	}
+	if r == CrossBlock {
+		return append(ks, core.RaceMissingDeviceFence)
+	}
+	return append(ks, core.RaceMissingBlockFence)
+}
+
+// unsyncKinds is the kind superset for a pair with no ordering path.
+func unsyncKinds(r Rel) []core.RaceKind { return csKinds(r) }
+
+// pinnedSame reports whether both ops carry a pin of the given kind with
+// an identical key: they then execute on the same identity.
+func pinnedSame(x, y *dataflow.Op, pin dataflow.PinKind) bool {
+	for _, gx := range x.Guards {
+		if gx.Pin != pin {
+			continue
+		}
+		for _, gy := range y.Guards {
+			if gy.Pin == pin && gy.Key == gx.Key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sharedTicket reports whether both ops sit under the same unique-ticket
+// guard: at most one executor in the grid ever passes it.
+func sharedTicket(x, y *dataflow.Op) bool {
+	return pinnedSame(x, y, dataflow.PinTicket)
+}
+
+// republished reports whether the executor of op later plain-stores to
+// the same allocation, overwriting the op's scoped-atomic metadata.
+func republished(op *dataflow.Op, tr *dataflow.Result) bool {
+	for _, z := range tr.Trace {
+		if z.Kind == dataflow.OpStore && z.Index > op.Index &&
+			len(dataflow.AllocBases(z.Addr.CommonBases(op.Addr))) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// commonLock finds a lock held on both sides that must refer to the same
+// lock word under the pairing relation.
+func commonLock(x, y *dataflow.Op, r Rel) (*dataflow.LockInfo, *dataflow.LockInfo, bool) {
+	for _, lx := range x.Locks {
+		for _, ly := range y.Locks {
+			if lx.Key != ly.Key {
+				continue
+			}
+			if len(dataflow.AllocBases(lx.Addr.CommonBases(ly.Addr))) == 0 {
+				continue
+			}
+			// Must-alias: a grid-invariant lock address is one lock for
+			// everyone; a block-affine one is one lock per block, shared
+			// only within a block.
+			switch lx.Addr.Aff {
+			case dataflow.AffInvariant:
+				return lx, ly, true
+			case dataflow.AffBlock:
+				if r == SameBlock && ly.Addr.Aff == dataflow.AffBlock {
+					return lx, ly, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// lockTrouble reports whether an acquisition's structure leaves the
+// critical section observably unordered for some executor.
+func lockTrouble(l *dataflow.LockInfo) bool {
+	if l.AcqFenceMissing || l.AcqFenceMaybe || l.Cond {
+		return true
+	}
+	// A fence narrower than the lock's reach: the lock word travels
+	// device-wide but the data may stay in the SM.
+	if l.AcqFence != 0 && l.AcqFence.MayBlock() && l.CasScope.MayDevice() {
+		return true
+	}
+	if l.Released {
+		if l.RelFenceMissing {
+			return true
+		}
+		if l.RelFence.MayBlock() && l.CasScope.MayDevice() {
+			return true
+		}
+		if l.RelExch.MayBlock() && l.CasScope.MayDevice() {
+			return true
+		}
+	}
+	return false
+}
+
+// syncStrength finds the strongest release path from write w (in trace
+// ta) to reader r (in trace tb): an atomic write S after w whose value a
+// matching atomic read W in tb observes before r, with release ordering
+// provided either by S itself (Release) or by a fence between w and S.
+// Returns 2 for definitely ordered, 1 for ordered only at a scope that
+// may not reach the reader (missing-device-fence territory, cond when
+// the scope may also be device), 0 for no path.
+func syncStrength(w, r *dataflow.Op, rel Rel, ta, tb *dataflow.Result) (int, bool) {
+	best, bestCond := 0, false
+	for _, s := range ta.Trace {
+		if !s.Atomic() || !s.Write || s.Index < w.Index {
+			continue
+		}
+		for _, obs := range tb.Trace {
+			if !obs.Atomic() || !obs.Read || obs.Index > r.Index {
+				continue
+			}
+			if len(dataflow.AllocBases(s.Addr.CommonBases(obs.Addr))) == 0 {
+				continue
+			}
+			var rs dataflow.ScopeSet
+			if s.ReleaseOp {
+				rs = s.Scope
+			} else {
+				rs = bestFence(ta, w.Index, s.Index)
+			}
+			if rs == 0 {
+				continue
+			}
+			st, cond := scopeStrength(rs, rel)
+			best, bestCond = betterPath(best, bestCond, st, cond)
+		}
+	}
+	return best, bestCond
+}
+
+// bestFence returns the widest fence scope between trace indexes lo and
+// hi (inclusive), preferring a definitely-device fence.
+func bestFence(tr *dataflow.Result, lo, hi int) dataflow.ScopeSet {
+	var best dataflow.ScopeSet
+	for _, f := range tr.Trace {
+		if f.Kind != dataflow.OpFence || f.Index < lo || f.Index > hi {
+			continue
+		}
+		if best == 0 || fenceRank(f.Scope) > fenceRank(best) {
+			best = f.Scope
+		}
+	}
+	return best
+}
+
+func fenceRank(s dataflow.ScopeSet) int {
+	switch {
+	case !s.MayBlock(): // definitely device
+		return 3
+	case s.MayDevice(): // either, injection-dependent
+		return 2
+	default: // definitely block
+		return 1
+	}
+}
+
+// scopeStrength grades a release scope against the pairing relation.
+func scopeStrength(rs dataflow.ScopeSet, rel Rel) (int, bool) {
+	if rel == SameBlock {
+		return 2, false // any fence scope orders within a block
+	}
+	switch {
+	case !rs.MayBlock():
+		return 2, false // definitely device-wide
+	case rs.MayDevice():
+		return 1, true // block under some configuration
+	default:
+		return 1, false // definitely block-only
+	}
+}
+
+// betterPath keeps the stronger of two ordering paths; among equals a
+// definite (non-conditional) path wins.
+func betterPath(s1 int, c1 bool, s2 int, c2 bool) (int, bool) {
+	if s2 > s1 {
+		return s2, c2
+	}
+	if s2 == s1 {
+		return s1, c1 && c2
+	}
+	return s1, c1
+}
+
+func pairSites(x, y *dataflow.Op) []string {
+	return []string{opSite(x), opSite(y)}
+}
+
+func opSite(o *dataflow.Op) string {
+	pos := o.Pkg.Fset.Position(o.Pos())
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}

@@ -1,0 +1,198 @@
+// Package diffval differentially validates the static race predictor
+// against the dynamic detector: it runs every benchmark configuration
+// the suite defines (each application injection individually, every
+// microbenchmark, the Section VI extension scenarios), collects the
+// (benchmark, allocation, kind) tuples the detector reports, and checks
+// them against racepred's output.
+//
+// The contract is asymmetric, as fits a static analysis:
+//
+//   - Recall must be 100%: every dynamically observed race tuple must be
+//     covered by a prediction with the same benchmark and allocation
+//     whose kind set contains the observed kind.
+//   - Precision is measured at the (benchmark, allocation) level and
+//     reported; every prediction never confirmed by any configuration
+//     must carry a reviewed justification in Justified, and every
+//     justification must correspond to a live unconfirmed prediction.
+package diffval
+
+import (
+	"fmt"
+	"sort"
+
+	"scord/internal/analysis/framework"
+	"scord/internal/analysis/racepred"
+	"scord/internal/config"
+	"scord/internal/core"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+)
+
+// Tuple is one dynamically observed race, keyed the way the recall gate
+// compares: which benchmark, which allocation, which Table IV kind.
+type Tuple struct {
+	Bench string
+	Alloc string
+	Kind  core.RaceKind
+}
+
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s/%s/%s", t.Bench, t.Alloc, t.Kind)
+}
+
+// Report is the outcome of one differential validation run.
+type Report struct {
+	Predictions []racepred.Prediction
+	Observed    []Tuple
+
+	// Missed are observed tuples no prediction covers (recall failures).
+	Missed []Tuple
+	// Confirmed counts predictions whose (bench, alloc) some
+	// configuration dynamically confirmed.
+	Confirmed int
+	// Unjustified are unconfirmed predictions absent from Justified.
+	Unjustified []racepred.Prediction
+	// Stale are Justified keys that no longer match an unconfirmed
+	// prediction.
+	Stale []string
+}
+
+// Precision is the confirmed fraction of (bench, alloc) predictions.
+func (r *Report) Precision() float64 {
+	if len(r.Predictions) == 0 {
+		return 1
+	}
+	return float64(r.Confirmed) / float64(len(r.Predictions))
+}
+
+// Run performs the full differential validation. repoRoot is the module
+// root holding the benchmark packages.
+func Run(repoRoot string) (*Report, error) {
+	pkgs, err := framework.Load(repoRoot, "./internal/scor", "./internal/scor/micro")
+	if err != nil {
+		return nil, err
+	}
+	preds, err := racepred.Predict(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	observed, err := observe()
+	if err != nil {
+		return nil, err
+	}
+	return compare(preds, observed), nil
+}
+
+// observe runs every suite configuration on the dynamic detector and
+// collects the reported race tuples.
+func observe() ([]Tuple, error) {
+	set := map[Tuple]bool{}
+
+	collect := func(bench string, d *gpu.Device) {
+		for _, r := range d.Races() {
+			al, ok := d.Mem().Locate(mem.Addr(r.Addr))
+			if !ok {
+				continue
+			}
+			set[Tuple{Bench: bench, Alloc: al.Name, Kind: r.Kind}] = true
+		}
+	}
+
+	runOne := func(b scor.Benchmark, cfg config.Config, active []string) error {
+		d, err := gpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := b.Run(d, active); err != nil {
+			return fmt.Errorf("%s (injections %v): %w", b.Name(), active, err)
+		}
+		collect(b.Name(), d)
+		return nil
+	}
+
+	base := config.Default().WithDetector(config.ModeFull4B)
+	for _, b := range scor.Apps() {
+		if err := runOne(b, base, nil); err != nil {
+			return nil, err
+		}
+		for _, inj := range b.Injections() {
+			if err := runOne(b, base, []string{inj}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, m := range micro.All() {
+		if err := runOne(m, base, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range micro.Extensions() {
+		cfg := config.Default().WithDetector(config.ModeFull4B)
+		cfg.Detector.ITS = m.NeedsITS()
+		cfg.Detector.AcqRel = m.NeedsAcqRel()
+		if err := runOne(m, cfg, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []Tuple
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Alloc != b.Alloc {
+			return a.Alloc < b.Alloc
+		}
+		return a.Kind < b.Kind
+	})
+	return out, nil
+}
+
+func compare(preds []racepred.Prediction, observed []Tuple) *Report {
+	rep := &Report{Predictions: preds, Observed: observed}
+
+	covered := func(t Tuple) bool {
+		for _, p := range preds {
+			if p.Bench == t.Bench && p.Alloc == t.Alloc && p.HasKind(t.Kind) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range observed {
+		if !covered(t) {
+			rep.Missed = append(rep.Missed, t)
+		}
+	}
+
+	confirmedAllocs := map[string]bool{}
+	for _, t := range observed {
+		confirmedAllocs[t.Bench+"/"+t.Alloc] = true
+	}
+	usedJust := map[string]bool{}
+	for _, p := range preds {
+		key := p.Bench + "/" + p.Alloc
+		if confirmedAllocs[key] {
+			rep.Confirmed++
+			continue
+		}
+		if _, ok := Justified[key]; ok {
+			usedJust[key] = true
+			continue
+		}
+		rep.Unjustified = append(rep.Unjustified, p)
+	}
+	for key := range Justified {
+		if !usedJust[key] {
+			rep.Stale = append(rep.Stale, key)
+		}
+	}
+	sort.Strings(rep.Stale)
+	return rep
+}

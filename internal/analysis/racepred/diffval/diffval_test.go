@@ -1,0 +1,37 @@
+package diffval_test
+
+import (
+	"testing"
+
+	"scord/internal/analysis/racepred/diffval"
+)
+
+// TestDifferentialValidation is the cross-validation gate between the
+// static predictor and the dynamic detector: 100% recall on everything
+// the detector reports across the whole suite, and a reviewed
+// justification for every prediction the detector never confirms.
+func TestDifferentialValidation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-threaded simulations already race-tested by the suite tests")
+	}
+	rep, err := diffval.Run("../../../..")
+	if err != nil {
+		t.Fatalf("diffval.Run: %v", err)
+	}
+	if len(rep.Observed) < 30 {
+		t.Fatalf("dynamic side looks broken: only %d observed race tuples", len(rep.Observed))
+	}
+	for _, m := range rep.Missed {
+		t.Errorf("recall miss: dynamic race %s has no covering prediction", m)
+	}
+	for _, p := range rep.Unjustified {
+		t.Errorf("unjustified prediction: %s/%s {%s} (sites %v) never dynamically confirmed",
+			p.Bench, p.Alloc, p.KindsString(), p.Sites)
+	}
+	for _, key := range rep.Stale {
+		t.Errorf("stale justification: %q matches no unconfirmed prediction", key)
+	}
+	t.Logf("diffval: %d observed tuples, %d predictions, %d confirmed, precision %.2f, %d justified FPs",
+		len(rep.Observed), len(rep.Predictions), rep.Confirmed,
+		rep.Precision(), len(rep.Predictions)-rep.Confirmed-len(rep.Unjustified))
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package diffval_test
+
+// raceEnabled reports that this test binary was built with -race. The
+// differential validation drives ~65 single-threaded simulations that
+// the suite tests already cover under -race; re-running them here only
+// multiplies CI time, so the gate runs in the plain configuration.
+const raceEnabled = true

@@ -1,0 +1,101 @@
+package racepred_test
+
+import (
+	"strings"
+	"testing"
+
+	"scord/internal/analysis/framework"
+	"scord/internal/analysis/racepred"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+)
+
+func predictAll(t *testing.T) []racepred.Prediction {
+	t.Helper()
+	pkgs, err := framework.Load("../../..", "./internal/scor", "./internal/scor/micro")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	preds, err := racepred.Predict(pkgs)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	return preds
+}
+
+func forBench(preds []racepred.Prediction, bench string) []racepred.Prediction {
+	var out []racepred.Prediction
+	for _, p := range preds {
+		if p.Bench == bench {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// specCovered reports whether some prediction for the benchmark covers
+// the spec's allocation (spec allocs are prefixes) with an overlapping
+// kind set.
+func specCovered(preds []racepred.Prediction, spec scor.RaceSpec) bool {
+	for _, p := range preds {
+		if !strings.HasPrefix(p.Alloc, spec.Alloc) {
+			continue
+		}
+		for _, k := range spec.Kinds {
+			if p.HasKind(k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestMicroPredictions pins the predictor against the microbenchmark
+// ground truth: every racey scenario's declared race is predicted, and
+// no non-racey scenario yields any prediction at all.
+func TestMicroPredictions(t *testing.T) {
+	preds := predictAll(t)
+	ms := append(micro.All(), micro.Extensions()...)
+	for _, m := range ms {
+		mp := forBench(preds, m.Name())
+		if !m.Racey() {
+			for _, p := range mp {
+				t.Errorf("%s: non-racey scenario predicted %s on %s (sites %v)",
+					m.Name(), p.KindsString(), p.Alloc, p.Sites)
+			}
+			continue
+		}
+		if len(m.ExpectedRaces(nil)) == 0 {
+			continue
+		}
+		for _, spec := range m.ExpectedRaces(nil) {
+			if !specCovered(mp, spec) {
+				t.Errorf("%s: spec %s on %s not covered; predictions: %v",
+					m.Name(), spec.ID, spec.Alloc, describe(mp))
+			}
+		}
+	}
+}
+
+// TestAppPredictions pins the predictor against every application
+// injection's declared races.
+func TestAppPredictions(t *testing.T) {
+	preds := predictAll(t)
+	for _, b := range scor.Apps() {
+		bp := forBench(preds, b.Name())
+		for _, spec := range b.ExpectedRaces(b.Injections()) {
+			if !specCovered(bp, spec) {
+				t.Errorf("%s: spec %s on %s not covered; predictions: %v",
+					b.Name(), spec.ID, spec.Alloc, describe(bp))
+			}
+		}
+	}
+}
+
+func describe(preds []racepred.Prediction) []string {
+	var out []string
+	for _, p := range preds {
+		out = append(out, p.Alloc+"{"+p.KindsString()+"}")
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package racepred
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"scord/internal/analysis/dataflow"
+	"scord/internal/analysis/framework"
+)
+
+// Rel is the executor relation of a candidate pair.
+type Rel uint8
+
+const (
+	// SameBlock: the two executors are different warps of one block.
+	SameBlock Rel = iota
+	// CrossBlock: the two executors are in different blocks.
+	CrossBlock
+)
+
+func (r Rel) String() string {
+	if r == SameBlock {
+		return "same-block"
+	}
+	return "cross-block"
+}
+
+// root is one analyzed kernel launch: the abstract traces of its
+// executor variants and the executor relations its grid admits.
+type root struct {
+	bench  string
+	rels   []Rel
+	traces []*dataflow.Result
+	// cross: pairs are drawn across the two role traces (microbenchmark
+	// launches run exactly one executor per role). Otherwise pairs are
+	// drawn within the single trace (two executors of the same code).
+	cross bool
+}
+
+// benchByFile names the application benchmark each source file builds,
+// matching Benchmark.Name() of the launch's receiver.
+var benchByFile = map[string]string{
+	"mm.go":     "MM",
+	"red.go":    "RED",
+	"r110.go":   "R110",
+	"gcol.go":   "GCOL",
+	"gcon.go":   "GCON",
+	"conv1d.go": "1DC",
+	"uts.go":    "UTS",
+}
+
+func discoverRoots(w *dataflow.World, pkgs []*framework.Package) ([]*root, error) {
+	var roots []*root
+	for _, pkg := range pkgs {
+		switch {
+		case pathHasSuffix(pkg.PkgPath, "internal/scor/micro"):
+			rs, err := microRoots(w, pkg)
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, rs...)
+		case pathHasSuffix(pkg.PkgPath, "internal/scor"):
+			rs, err := appRoots(w, pkg)
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, rs...)
+		}
+	}
+	return roots, nil
+}
+
+// microRoots finds every &Micro{...} scenario literal and interprets its
+// kernel once per role. Micro.Run launches 2 blocks × 1 warp (or, for
+// sameBlock scenarios, 1 block × 2 warps) with role = block*warps+warp,
+// so the two role traces are exactly the two executors.
+func microRoots(w *dataflow.World, pkg *framework.Package) ([]*root, error) {
+	var roots []*root
+	var err error
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			env := w.OuterEnv(pkg, fd.Body, nil)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := microLit(pkg, n)
+				if !ok || err != nil {
+					return true
+				}
+				rt, e := microRoot(w, pkg, env, lit)
+				if e != nil {
+					err = e
+					return false
+				}
+				if rt != nil {
+					roots = append(roots, rt)
+				}
+				return true
+			})
+		}
+	}
+	return roots, err
+}
+
+// microLit matches &Micro{...} composite literals.
+func microLit(pkg *framework.Package, n ast.Node) (*ast.CompositeLit, bool) {
+	un, ok := n.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, false
+	}
+	lit, ok := un.X.(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	id, ok := lit.Type.(*ast.Ident)
+	if !ok || id.Name != "Micro" {
+		return nil, false
+	}
+	return lit, true
+}
+
+func microRoot(w *dataflow.World, pkg *framework.Package, env *dataflow.Env, lit *ast.CompositeLit) (*root, error) {
+	var name string
+	var sameBlock bool
+	var kernExpr ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "name":
+			if s, ok := stringConst(pkg, kv.Value); ok {
+				name = s
+			}
+		case "sameBlock":
+			if id, ok := kv.Value.(*ast.Ident); ok && id.Name == "true" {
+				sameBlock = true
+			}
+		case "kern":
+			kernExpr = kv.Value
+		}
+	}
+	if kernExpr == nil || name == "" {
+		return nil, nil
+	}
+	kv := dataflow.EvalExpr(w, pkg, env, kernExpr)
+	if len(kv.Funcs) == 0 {
+		return nil, fmt.Errorf("racepred: micro %q at %s: kernel expression did not resolve to a function",
+			name, pkg.Fset.Position(kernExpr.Pos()))
+	}
+	rel := CrossBlock
+	if sameBlock {
+		rel = SameBlock
+	}
+	rt := &root{bench: name, rels: []Rel{rel}, cross: true}
+	for role := int64(0); role < 2; role++ {
+		r := role
+		res := dataflow.Run(w, kv.Funcs[0], []*dataflow.Value{nil, nil, {Const: &r}})
+		rt.traces = append(rt.traces, res)
+	}
+	return rt, nil
+}
+
+// appRoots finds every d.Launch(name, blocks, tpb, kern) call in the
+// application package and interprets the kernel once. Application grids
+// run many warps per block and many blocks, so one trace stands for
+// every executor and pairs are drawn within it under both relations.
+func appRoots(w *dataflow.World, pkg *framework.Package) ([]*root, error) {
+	var roots []*root
+	var err error
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var env *dataflow.Env
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || err != nil || !isDeviceLaunch(pkg, call) {
+					return true
+				}
+				if env == nil {
+					env = w.OuterEnv(pkg, fd.Body, nil)
+				}
+				file := filepath.Base(pkg.Fset.Position(call.Pos()).Filename)
+				bench, ok := benchByFile[file]
+				if !ok {
+					return true
+				}
+				kv := dataflow.EvalExpr(w, pkg, env, call.Args[3])
+				if len(kv.Funcs) == 0 {
+					err = fmt.Errorf("racepred: launch at %s: kernel argument did not resolve to a function",
+						pkg.Fset.Position(call.Pos()))
+					return false
+				}
+				res := dataflow.Run(w, kv.Funcs[0], nil)
+				roots = append(roots, &root{
+					bench:  bench,
+					rels:   []Rel{SameBlock, CrossBlock},
+					traces: []*dataflow.Result{res},
+				})
+				return true
+			})
+		}
+	}
+	return roots, err
+}
+
+// isDeviceLaunch matches gpu.Device.Launch(name, blocks, tpb, kern).
+func isDeviceLaunch(pkg *framework.Package, call *ast.CallExpr) bool {
+	if len(call.Args) != 4 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Launch" {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Device" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(named.Obj().Pkg().Path(), "internal/gpu")
+}
+
+func stringConst(pkg *framework.Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}

@@ -14,11 +14,17 @@
 //   - diverge: AtLane divergence that reaches a SyncThreads/Fence or the
 //     kernel's end without an intervening Converge (ITS, Section VI).
 //
-// The checks are deliberately heuristic: addresses are compared
-// syntactically and control flow is approximated by source order. A
-// finding that is intentional (an injected race, a single-block launch)
-// is silenced with a //scord:allow(scopelint/<check>) comment carrying a
-// justification.
+// The crossblock, fencepublish and weakmixed checks consume the
+// flow-sensitive facts of internal/analysis/dataflow: address
+// provenance is tracked through assignments, loops and conditionals,
+// and aliasing is decided by allocation bases instead of syntactic
+// address equality. Scope operands are still matched syntactically (the
+// literal ScopeBlock constant): injection harnesses select scopes
+// through variables at run time on purpose, and those sites belong to
+// racepred, not lint. The acqrel and diverge checks remain source-order
+// heuristics. A finding that is intentional (an injected race, a
+// single-block launch) is silenced with a
+// //scord:allow(scopelint/<check>) comment carrying a justification.
 package scopelint
 
 import (
@@ -27,6 +33,7 @@ import (
 	"go/types"
 	"sort"
 
+	"scord/internal/analysis/dataflow"
 	"scord/internal/analysis/framework"
 )
 
@@ -52,8 +59,24 @@ var atomicMethods = map[string]struct{ addr, scope int }{
 }
 
 func run(pass *framework.Pass) error {
+	wpkg := &framework.Package{
+		PkgPath: pass.Pkg.Path(),
+		Fset:    pass.Fset,
+		Files:   pass.Files,
+		Types:   pass.Pkg,
+		Info:    pass.TypesInfo,
+	}
+	world := dataflow.NewWorld(wpkg)
 	for _, file := range pass.Files {
+		// stack tracks the ancestors of the node being visited, so a
+		// kernel closure can resolve its captured variables (allocation
+		// addresses bound in the launching function's body).
+		var stack []ast.Node
 		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
 			var ftype *ast.FuncType
 			var body *ast.BlockStmt
 			switch fn := n.(type) {
@@ -61,13 +84,23 @@ func run(pass *framework.Pass) error {
 				ftype, body = fn.Type, fn.Body
 			case *ast.FuncLit:
 				ftype, body = fn.Type, fn.Body
-			default:
-				return true
 			}
-			if body == nil || !isKernelFunc(pass, ftype) {
-				return true
+			if body != nil && isKernelFunc(pass, ftype) {
+				var env *dataflow.Env
+				for i := len(stack) - 1; i >= 0; i-- {
+					switch enc := stack[i].(type) {
+					case *ast.FuncDecl:
+						env = world.OuterEnv(wpkg, enc.Body, nil)
+					case *ast.FuncLit:
+						env = world.OuterEnv(wpkg, enc.Body, nil)
+					}
+					if env != nil {
+						break
+					}
+				}
+				checkKernel(pass, world, wpkg, ftype, body, env)
 			}
-			checkKernel(pass, ftype, body)
+			stack = append(stack, n)
 			return true // nested kernels are visited (and re-checked) on their own
 		})
 	}
@@ -90,21 +123,7 @@ func isKernelFunc(pass *framework.Pass, ftype *ast.FuncType) bool {
 // isCtxPtr reports whether t is *gpu.Ctx (matched by package path suffix,
 // so the root package's Ctx alias resolves identically).
 func isCtxPtr(t types.Type) bool {
-	ptr, ok := t.(*types.Pointer)
-	if !ok {
-		return false
-	}
-	named, ok := ptr.Elem().(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Ctx" && obj.Pkg() != nil && pathIsGPU(obj.Pkg().Path())
-}
-
-func pathIsGPU(p string) bool {
-	const suffix = "internal/gpu"
-	return p == suffix || (len(p) > len(suffix) && p[len(p)-len(suffix)-1] == '/' && p[len(p)-len(suffix):] == suffix)
+	return dataflow.IsCtxPtr(t)
 }
 
 // ctxCall describes one Ctx method call inside a kernel.
@@ -114,48 +133,45 @@ type ctxCall struct {
 	pos  token.Pos
 }
 
-// checkKernel runs every scope check over one kernel function.
-func checkKernel(pass *framework.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+// checkKernel runs every scope check over one kernel function. The
+// kernel is interpreted with free parameters (the dataflow layer's
+// default classification: integer parameters are block-derived ids,
+// address parameters are opaque bases); operations recorded from
+// inlined helper bodies are skipped here, because every helper with a
+// *gpu.Ctx parameter is checked as a kernel of its own.
+func checkKernel(pass *framework.Pass, world *dataflow.World, wpkg *framework.Package, ftype *ast.FuncType, body *ast.BlockStmt, env *dataflow.Env) {
+	res := dataflow.Run(world, &dataflow.FuncVal{Pkg: wpkg, Type: ftype, Body: body, Env: env}, nil)
+	r := &reporter{pass: pass, seen: map[string]bool{}}
+	var ops []*dataflow.Op
+	for _, op := range res.Trace {
+		if op.Pos() >= body.Pos() && op.Pos() <= body.End() {
+			ops = append(ops, op)
+		}
+	}
+
+	checkCrossBlock(pass, r, res, ops)
+	checkFencePublish(pass, r, ops)
+	checkWeakMixed(r, ops)
+
 	calls := collectCtxCalls(pass, body)
-
-	// Taint A: values derived from cross-block bases. Indexing by the
-	// warp's own c.Block is block-local and therefore NOT a source.
-	crossBlock := taintedObjects(pass, body, func(e ast.Expr) bool {
-		return isGlobalWarpCall(pass, e) || isCtxField(pass, e, "Blocks")
-	})
-	isCross := func(e ast.Expr) bool {
-		return exprTainted(pass, e, crossBlock, func(x ast.Expr) bool {
-			return isGlobalWarpCall(pass, x) || isCtxField(pass, x, "Blocks")
-		})
-	}
-
-	// Taint B: values that vary per block (or per role), used to decide
-	// whether an address is the same on every block. Integer parameters
-	// count as block-varying: kernel wrappers routinely pass a role or
-	// thread id computed from block identity.
-	intParams := integerParamObjs(pass, ftype)
-	blockDepSource := func(e ast.Expr) bool {
-		if isGlobalWarpCall(pass, e) || isCtxField(pass, e, "Blocks") ||
-			isCtxField(pass, e, "Block") || isCtxField(pass, e, "Warp") {
-			return true
-		}
-		if id, ok := e.(*ast.Ident); ok && intParams[pass.ObjectOf(id)] {
-			return true
-		}
-		return false
-	}
-	blockDep := taintedObjects(pass, body, blockDepSource)
-	isBlockDep := func(e ast.Expr) bool { return exprTainted(pass, e, blockDep, blockDepSource) }
-
-	// A branch on block identity means the kernel may confine an access
-	// to a subset of blocks; the shared-address heuristic stands down.
-	branchesOnBlock := hasBlockDependentBranch(pass, body, isBlockDep)
-
-	checkCrossBlock(pass, calls, isCross, isBlockDep, branchesOnBlock)
-	checkFencePublish(pass, calls, isCross)
-	checkWeakMixed(pass, calls)
 	checkAcqRel(pass, calls)
 	checkDiverge(pass, calls)
+}
+
+// reporter deduplicates findings: a loop body is interpreted twice, so
+// the same operation can appear in the trace more than once.
+type reporter struct {
+	pass *framework.Pass
+	seen map[string]bool
+}
+
+func (r *reporter) reportf(pos token.Pos, category, format string, args ...interface{}) {
+	key := r.pass.Fset.Position(pos).String() + "\x00" + category
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.pass.Reportf(pos, category, format, args...)
 }
 
 // collectCtxCalls gathers Ctx method calls in source order, descending
@@ -214,195 +230,48 @@ func isScopeBlock(pass *framework.Pass, e ast.Expr) bool {
 	return ok && c.Name() == "ScopeBlock"
 }
 
-// isGlobalWarpCall matches c.GlobalWarp().
-func isGlobalWarpCall(pass *framework.Pass, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
+// blockScopeArg returns whether the recorded atomic op's scope operand
+// is the literal ScopeBlock constant.
+func blockScopeArg(pass *framework.Pass, op *dataflow.Op) bool {
+	spec, ok := atomicMethods[op.Method]
+	if !ok || len(op.Call.Args) <= spec.scope {
 		return false
 	}
-	name, ok := ctxMethodName(pass, call)
-	return ok && name == "GlobalWarp"
-}
-
-// isCtxField matches the selector c.<field> on a Ctx value.
-func isCtxField(pass *framework.Pass, e ast.Expr, field string) bool {
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != field {
-		return false
-	}
-	return isCtxPtr(pass.TypeOf(sel.X))
-}
-
-// integerParamObjs returns the objects of plain integer parameters (the
-// role/id parameters of kernel helpers). Only predeclared basic integer
-// types count: named integer types such as mem.Addr are addresses, not
-// block-derived ids.
-func integerParamObjs(pass *framework.Pass, ftype *ast.FuncType) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	for _, f := range ftype.Params.List {
-		for _, name := range f.Names {
-			obj := pass.TypesInfo.Defs[name]
-			if obj == nil {
-				continue
-			}
-			if b, ok := obj.Type().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
-				out[obj] = true
-			}
-		}
-	}
-	return out
-}
-
-// taintedObjects computes, to a fixpoint, the set of local variables whose
-// value derives from a source expression. Assignments, short declarations,
-// var specs and range statements propagate taint.
-func taintedObjects(pass *framework.Pass, body *ast.BlockStmt, isSource func(ast.Expr) bool) map[types.Object]bool {
-	tainted := map[types.Object]bool{}
-	expr := func(e ast.Expr) bool { return exprTainted(pass, e, tainted, isSource) }
-	mark := func(e ast.Expr) bool {
-		if id, ok := e.(*ast.Ident); ok {
-			if obj := pass.ObjectOf(id); obj != nil && !tainted[obj] {
-				tainted[obj] = true
-				return true
-			}
-		}
-		return false
-	}
-	for i := 0; i < 8; i++ { // fixpoint; kernel bodies are tiny
-		changed := false
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				if len(st.Lhs) == len(st.Rhs) {
-					for i, rhs := range st.Rhs {
-						if expr(rhs) && mark(st.Lhs[i]) {
-							changed = true
-						}
-					}
-				} else {
-					any := false
-					for _, rhs := range st.Rhs {
-						any = any || expr(rhs)
-					}
-					if any {
-						for _, lhs := range st.Lhs {
-							if mark(lhs) {
-								changed = true
-							}
-						}
-					}
-				}
-			case *ast.ValueSpec:
-				any := false
-				for _, v := range st.Values {
-					any = any || expr(v)
-				}
-				if any {
-					for _, name := range st.Names {
-						if mark(name) {
-							changed = true
-						}
-					}
-				}
-			case *ast.RangeStmt:
-				if expr(st.X) {
-					if st.Key != nil && mark(st.Key) {
-						changed = true
-					}
-					if st.Value != nil && mark(st.Value) {
-						changed = true
-					}
-				}
-			}
-			return true
-		})
-		if !changed {
-			break
-		}
-	}
-	return tainted
-}
-
-// exprTainted reports whether e contains a source expression or a tainted
-// variable.
-func exprTainted(pass *framework.Pass, e ast.Expr, tainted map[types.Object]bool, isSource func(ast.Expr) bool) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if x, ok := n.(ast.Expr); ok && isSource(x) {
-			found = true
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok && tainted[pass.ObjectOf(id)] {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-// hasBlockDependentBranch reports whether any branch condition in the
-// kernel depends on block identity.
-func hasBlockDependentBranch(pass *framework.Pass, body *ast.BlockStmt, isBlockDep func(ast.Expr) bool) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		var cond ast.Expr
-		switch st := n.(type) {
-		case *ast.IfStmt:
-			cond = st.Cond
-		case *ast.ForStmt:
-			cond = st.Cond
-		case *ast.SwitchStmt:
-			cond = st.Tag
-		}
-		if cond != nil && isBlockDep(cond) {
-			found = true
-		}
-		return true
-	})
-	return found
+	return isScopeBlock(pass, op.Call.Args[spec.scope])
 }
 
 // checkCrossBlock flags block-scope atomics whose address is either
-// cross-block derived or identical on every block.
-func checkCrossBlock(pass *framework.Pass, calls []ctxCall, isCross, isBlockDep func(ast.Expr) bool, branchesOnBlock bool) {
-	for _, c := range calls {
-		spec, ok := atomicMethods[c.name]
-		if !ok || len(c.call.Args) <= spec.scope {
+// cross-block derived or identical on every block. Addresses the
+// interpreter traced to memory loads or unanalyzable inputs are given
+// the benefit of the doubt on the shared-address heuristic: their value
+// may well differ per block.
+func checkCrossBlock(pass *framework.Pass, r *reporter, res *dataflow.Result, ops []*dataflow.Op) {
+	for _, op := range ops {
+		if !op.Atomic() || !blockScopeArg(pass, op) {
 			continue
 		}
-		if !isScopeBlock(pass, c.call.Args[spec.scope]) {
-			continue
-		}
-		addr := c.call.Args[spec.addr]
 		switch {
-		case isCross(addr):
-			pass.Reportf(c.pos, "crossblock",
-				"block-scope %s on an address derived from cross-block bases; block scope only orders within one threadblock — use ScopeDevice", c.name)
-		case !isBlockDep(addr) && !branchesOnBlock:
-			pass.Reportf(c.pos, "crossblock",
-				"block-scope %s on an address that is the same for every block; concurrent blocks will race on it — use ScopeDevice", c.name)
+		case op.Addr.CrossDerived():
+			r.reportf(op.Pos(), "crossblock",
+				"block-scope %s on an address derived from cross-block bases; block scope only orders within one threadblock — use ScopeDevice", op.Method)
+		case !op.Addr.BlockVarying() && op.Addr.Deps&(dataflow.DepMem|dataflow.DepUnknown) == 0 && !res.BlockBranch:
+			r.reportf(op.Pos(), "crossblock",
+				"block-scope %s on an address that is the same for every block; concurrent blocks will race on it — use ScopeDevice", op.Method)
 		}
 	}
 }
 
 // checkFencePublish flags a block-scope fence that is positioned to
-// publish an earlier store to a cross-block address.
-func checkFencePublish(pass *framework.Pass, calls []ctxCall, isCross func(ast.Expr) bool) {
-	for i, c := range calls {
-		if c.name != "Fence" || len(c.call.Args) != 1 || !isScopeBlock(pass, c.call.Args[0]) {
+// publish an earlier store to a cross-block address. "Earlier" is trace
+// order: the interpreter's execution order, not source order.
+func checkFencePublish(pass *framework.Pass, r *reporter, ops []*dataflow.Op) {
+	for i, op := range ops {
+		if op.Kind != dataflow.OpFence || len(op.Call.Args) != 1 || !isScopeBlock(pass, op.Call.Args[0]) {
 			continue
 		}
-		for _, prev := range calls[:i] {
-			if (prev.name == "Store" || prev.name == "StoreV" || prev.name == "StoreVec") &&
-				len(prev.call.Args) > 0 && isCross(prev.call.Args[0]) {
-				pass.Reportf(c.pos, "fencepublish",
+		for _, prev := range ops[:i] {
+			if prev.Kind == dataflow.OpStore && prev.Addr.CrossDerived() {
+				r.reportf(op.Pos(), "fencepublish",
 					"block-scope fence cannot publish the preceding store to a cross-block address; the consumer is in another block — use Fence(ScopeDevice)")
 				break
 			}
@@ -410,52 +279,36 @@ func checkFencePublish(pass *framework.Pass, calls []ctxCall, isCross func(ast.E
 	}
 }
 
-// weakAccessAddr returns the address operand of a weak (non-volatile)
-// access, or nil.
-func weakAccessAddr(pass *framework.Pass, c ctxCall) ast.Expr {
-	switch c.name {
-	case "Load", "Store":
-		if len(c.call.Args) > 0 {
-			return c.call.Args[0]
-		}
-	case "LoadVec":
-		if len(c.call.Args) == 2 && isConstFalse(pass, c.call.Args[1]) {
-			return c.call.Args[0]
-		}
-	case "StoreVec":
-		if len(c.call.Args) == 3 && isConstFalse(pass, c.call.Args[2]) {
-			return c.call.Args[0]
+// checkWeakMixed flags weak accesses to an address the same kernel also
+// touches atomically. Aliasing is decided by allocation bases (two
+// addresses into the same allocation may overlap); syntactic equality
+// remains as a fallback for addresses whose bases the interpreter could
+// not resolve.
+func checkWeakMixed(r *reporter, ops []*dataflow.Op) {
+	var atomics []*dataflow.Op
+	for _, op := range ops {
+		if op.Atomic() {
+			atomics = append(atomics, op)
 		}
 	}
-	return nil
-}
-
-func isConstFalse(pass *framework.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	return ok && tv.Value != nil && tv.Value.String() == "false"
-}
-
-// checkWeakMixed flags weak accesses to an address expression the same
-// kernel also touches atomically. Address equality is syntactic.
-func checkWeakMixed(pass *framework.Pass, calls []ctxCall) {
-	atomic := map[string]string{} // normalized addr -> atomic method name
-	for _, c := range calls {
-		if spec, ok := atomicMethods[c.name]; ok && len(c.call.Args) > spec.addr {
-			atomic[types.ExprString(c.call.Args[spec.addr])] = c.name
-		}
-	}
-	if len(atomic) == 0 {
+	if len(atomics) == 0 {
 		return
 	}
-	for _, c := range calls {
-		addr := weakAccessAddr(pass, c)
-		if addr == nil {
+	for _, op := range ops {
+		if !op.Weak() || op.AddrExpr == nil {
 			continue
 		}
-		if by, ok := atomic[types.ExprString(addr)]; ok {
-			pass.Reportf(c.pos, "weakmixed",
+		var by string
+		for _, a := range atomics {
+			if len(op.Addr.CommonBases(a.Addr)) > 0 ||
+				types.ExprString(op.AddrExpr) == types.ExprString(a.AddrExpr) {
+				by = a.Method
+			}
+		}
+		if by != "" {
+			r.reportf(op.Pos(), "weakmixed",
 				"weak %s of %s, which this kernel also accesses with %s; weak accesses to synchronizing addresses race (use LoadV/StoreV or an atomic)",
-				c.name, types.ExprString(addr), by)
+				op.Method, types.ExprString(op.AddrExpr), by)
 		}
 	}
 }
