@@ -9,11 +9,14 @@
 package scord_test
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"scord/internal/config"
 	"scord/internal/gpu"
 	"scord/internal/harness"
+	"scord/internal/mem"
+	"scord/internal/obs"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 )
@@ -217,6 +220,63 @@ func BenchmarkAblationRate(b *testing.B) {
 			b.Logf("\n%s", a.Render())
 		}
 	}
+}
+
+// BenchmarkObsOverhead quantifies the observability tax on the device hot
+// path: one kernel run with every observer detached (the default), with a
+// cycle-domain sampler attached, and with a live cycle gauge watched.
+// Compare the sub-benchmarks with -benchmem — the acceptance gate is that
+// "detached" matches a bare run exactly (observers you don't attach cost
+// nothing; the per-request fast path is additionally pinned to zero
+// allocations by obs.TestSamplerFastPathAllocationFree).
+func BenchmarkObsOverhead(b *testing.B) {
+	runOnce := func(b *testing.B, attach func(d *gpu.Device) func(now uint64)) {
+		d, err := gpu.New(config.Default().WithDetector(config.ModeCached))
+		if err != nil {
+			b.Fatal(err)
+		}
+		finish := attach(d)
+		buf := d.Alloc("buf", 1<<16)
+		if err := d.Launch("obs.bench", 8, 64, func(c *gpu.Ctx) {
+			base := buf + mem.Addr(c.GlobalWarp()*1024)
+			for i := 0; i < 64; i++ {
+				c.Store(base+mem.Addr(4*i), uint32(i))
+				c.Work(3)
+				c.Load(base + mem.Addr(4*i))
+			}
+			c.SyncThreads()
+			c.Fence(gpu.ScopeDevice)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		finish(d.Cycles())
+	}
+	b.Run("detached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, func(d *gpu.Device) func(uint64) { return func(uint64) {} })
+		}
+	})
+	b.Run("sampler-10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, func(d *gpu.Device) func(uint64) {
+				s := obs.NewSampler(d, 10_000, &obs.Series{Label: "bench"})
+				d.SetProbe(s)
+				return s.Flush
+			})
+		}
+	})
+	b.Run("cycle-gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		var g atomic.Uint64
+		for i := 0; i < b.N; i++ {
+			runOnce(b, func(d *gpu.Device) func(uint64) {
+				d.WatchCycles(&g)
+				return func(uint64) {}
+			})
+		}
+	})
 }
 
 // BenchmarkFig11_Sensitivity regenerates Figure 11: ScoRD's slowdown under

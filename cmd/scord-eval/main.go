@@ -6,7 +6,13 @@
 // so they run on a bounded worker pool (-jobs, default GOMAXPROCS).
 // Results are collected in job-submission order: rendered tables and CSVs
 // are byte-identical at any -jobs value. Deterministic experiment output
-// goes to stdout; per-experiment timing telemetry goes to stderr.
+// goes to stdout; logging and telemetry go to stderr (structured, gated
+// by -v/-quiet) so stdout stays byte-identical across runs.
+//
+// Observability: -metrics samples every device's counters in the
+// simulated-cycle domain and writes deterministic CSV/JSON series;
+// -obs-addr serves live Prometheus /metrics, expvar and pprof while the
+// run is in flight; -cpuprofile/-memprofile capture offline profiles.
 //
 // Usage:
 //
@@ -15,20 +21,25 @@
 //	scord-eval -seed 7              # different workload seed
 //	scord-eval -csv out/            # also write one CSV per experiment
 //	scord-eval -jobs 1              # sequential run (same output)
+//	scord-eval -metrics out/ -sample-every 5000
+//	scord-eval -obs-addr 127.0.0.1:9151
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"scord/internal/config"
 	"scord/internal/harness"
+	"scord/internal/obs"
 )
 
 // result is what every experiment produces: a rendered text table, and
@@ -64,6 +75,11 @@ func experimentNames() string {
 	return strings.Join(names, "|")
 }
 
+// obsServerStarted, when non-nil, receives the telemetry server's bound
+// address right before experiments start. Tests use it to scrape the
+// endpoint while a run is in flight.
+var obsServerStarted func(addr string)
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -76,10 +92,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed   = fs.Int64("seed", 1, "simulation seed")
 		csvDir = fs.String("csv", "", "directory to write one CSV per experiment (created if missing)")
 		jobs   = fs.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for independent simulations (output is identical at any value)")
+
+		metricsDir  = fs.String("metrics", "", "directory to write cycle-domain sampled metrics (metrics.csv + metrics.json; created if missing)")
+		sampleEvery = fs.Uint64("sample-every", harness.DefaultSampleEvery, "metric sampling interval in simulated cycles (with -metrics)")
+		obsAddr     = fs.String("obs-addr", "", "serve live telemetry on this address while running: Prometheus /metrics, expvar /debug/vars, /debug/pprof")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
+		verbose     = fs.Bool("v", false, "also log per-job scheduling detail")
+		quiet       = fs.Bool("quiet", false, "suppress run telemetry; warnings and errors only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *verbose && *quiet {
+		fmt.Fprintln(stderr, "scord-eval: -v and -quiet are mutually exclusive")
+		return 2
+	}
+
+	// Structured logging to stderr. Experiment results stay on stdout;
+	// everything on this logger is telemetry and may be silenced without
+	// changing results.
+	level := slog.LevelInfo
+	switch {
+	case *verbose:
+		level = slog.LevelDebug
+	case *quiet:
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level}))
 
 	// Reject an unknown -only value before running anything: a typo must
 	// not cost a full evaluation pass first.
@@ -104,11 +144,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := config.Default()
 	cfg.Seed = *seed
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(stderr, "scord-eval:", err)
+	for _, dir := range []string{*csvDir, *metricsDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				logger.Error("creating output directory", "err", err)
+				return 1
+			}
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			logger.Error("creating cpu profile", "err", err)
 			return 1
 		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Error("starting cpu profile", "err", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			logger.Info("wrote cpu profile", "path", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				logger.Error("writing heap profile", "err", err)
+				return
+			}
+			logger.Info("wrote heap profile", "path", *memProfile)
+		}()
+	}
+
+	// Live telemetry: the hub collects job lifecycle and per-job simulated
+	// cycle progress; the server exposes it. Both attach only when asked —
+	// a run without -obs-addr keeps every device observer detached.
+	var tel *obs.RunTelemetry
+	if *obsAddr != "" {
+		tel = obs.NewRunTelemetry()
+		srv, err := obs.StartServer(*obsAddr, tel)
+		if err != nil {
+			logger.Error("starting telemetry server", "err", err)
+			return 1
+		}
+		defer srv.Close()
+		logger.Info("telemetry server listening", "addr", srv.Addr(),
+			"endpoints", "/metrics /debug/vars /debug/pprof")
+		if obsServerStarted != nil {
+			obsServerStarted(srv.Addr())
+		}
+	}
+	var col *obs.Collector
+	if *metricsDir != "" {
+		col = obs.NewCollector()
 	}
 
 	for _, e := range experiments {
@@ -116,27 +208,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		rep := &harness.Report{}
-		opt := harness.Options{Config: &cfg, Jobs: *jobs, Report: rep}
+		opt := harness.Options{
+			Config: &cfg, Jobs: *jobs, Report: rep,
+			Telemetry: tel, Samples: col, SampleEvery: *sampleEvery,
+		}
 		start := time.Now()
 		res, err := e.run(opt)
 		if err != nil {
-			fmt.Fprintf(stderr, "scord-eval: %s: %v\n", e.name, err)
+			logger.Error("experiment failed", "experiment", e.name, "err", err)
 			return 1
 		}
 		fmt.Fprintln(stdout, res.Render())
-		// Timing telemetry goes to stderr so stdout stays byte-identical
-		// across -jobs values and runs.
-		fmt.Fprintf(stderr, "(%s: %d sims on %d workers in %.1fs — %.2fx speedup, %.0f%% utilization)\n",
-			e.name, len(rep.Jobs()), rep.Workers(), time.Since(start).Seconds(),
-			rep.Speedup(), 100*rep.Utilization())
+		// Scheduling telemetry: wall-clock only, never on stdout, so
+		// experiment output stays byte-identical across -jobs values.
+		logger.Info("experiment complete",
+			"experiment", e.name,
+			"sims", len(rep.Jobs()),
+			"workers", rep.Workers(),
+			"wall", time.Since(start).Round(time.Millisecond),
+			"speedup", fmt.Sprintf("%.2fx", rep.Speedup()),
+			"utilization", fmt.Sprintf("%.0f%%", 100*rep.Utilization()),
+		)
+		for _, jt := range rep.Jobs() {
+			logger.Debug("job finished", "label", jt.Label, "wall", jt.Wall)
+		}
 
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, e.name+".csv")
 			if err := harness.WriteCSVFile(path, res); err != nil {
-				fmt.Fprintln(stderr, "scord-eval:", err)
+				logger.Error("writing csv", "path", path, "err", err)
 				return 1
 			}
 		}
 	}
+
+	if col != nil {
+		for _, out := range []struct {
+			name  string
+			write func(io.Writer) error
+		}{
+			{"metrics.csv", col.WriteCSV},
+			{"metrics.json", col.WriteJSON},
+		} {
+			path := filepath.Join(*metricsDir, out.name)
+			if err := writeFileWith(path, out.write); err != nil {
+				logger.Error("writing metrics", "path", path, "err", err)
+				return 1
+			}
+			logger.Info("wrote sampled metrics", "path", path, "series", len(col.Labels()))
+		}
+	}
 	return 0
+}
+
+// writeFileWith writes via w into path, removing the file on error so a
+// failed run never leaves a truncated artifact behind.
+func writeFileWith(path string, w func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,23 +7,32 @@
 //	scord -list
 //	scord -bench GCOL -mode scord -inject own-atomic,steal-atomic
 //	scord -bench UTS -mode base
+//	scord -bench fence.racey.cross-none -perfetto trace.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 
 	"scord/internal/config"
 	"scord/internal/gpu"
 	"scord/internal/mem"
+	"scord/internal/obs"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 	"scord/internal/stats"
 	"scord/internal/trace"
 )
+
+// perfettoTraceCap is the tracer ring size used when -perfetto is given
+// without an explicit -trace N: large enough to hold every event of the
+// bundled benchmarks at default scale, so spans are not truncated.
+const perfettoTraceCap = 1 << 16
 
 // jsonReport is the machine-readable output of -json.
 type jsonReport struct {
@@ -84,32 +93,42 @@ func parseMode(s string) (config.DetectorMode, error) {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "", "benchmark to run (see -list)")
-		mode      = flag.String("mode", "scord", "detector: off|base|scord|gran8|gran16")
-		inject    = flag.String("inject", "", "comma-separated race injections ('all' for every one)")
-		list      = flag.Bool("list", false, "list benchmarks and their injections")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
-		traceN    = flag.Int("trace", 0, "dump the last N execution events after the run")
-		scale     = flag.Int("scale", 1, "multiply the benchmark's input size (device memory scales too)")
-		explain   = flag.Bool("explain", false, "print a diagnosis and fix suggestion per race")
+		benchName = fs.String("bench", "", "benchmark to run (see -list)")
+		mode      = fs.String("mode", "scord", "detector: off|base|scord|gran8|gran16")
+		inject    = fs.String("inject", "", "comma-separated race injections ('all' for every one)")
+		list      = fs.Bool("list", false, "list benchmarks and their injections")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
+		traceN    = fs.Int("trace", 0, "dump the last N execution events after the run")
+		scale     = fs.Int("scale", 1, "multiply the benchmark's input size (device memory scales too)")
+		explain   = fs.Bool("explain", false, "print a diagnosis and fix suggestion per race")
+		perfetto  = fs.String("perfetto", "", "write a Chrome/Perfetto trace_event JSON file of the run (implies event tracing)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
 
 	if *list {
 		for _, b := range allBenchmarks() {
 			if inj := b.Injections(); len(inj) > 0 {
-				fmt.Printf("%-40s injections: %s\n", b.Name(), strings.Join(inj, ","))
+				fmt.Fprintf(stdout, "%-40s injections: %s\n", b.Name(), strings.Join(inj, ","))
 			} else {
-				fmt.Printf("%-40s\n", b.Name())
+				fmt.Fprintf(stdout, "%-40s\n", b.Name())
 			}
 		}
-		return
+		return 0
 	}
 	if *benchName == "" {
-		fmt.Fprintln(os.Stderr, "scord: -bench required (or -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "scord: -bench required (or -list)")
+		return 2
 	}
 
 	var bench scor.Benchmark
@@ -120,14 +139,14 @@ func main() {
 		}
 	}
 	if bench == nil {
-		fmt.Fprintf(os.Stderr, "scord: unknown benchmark %q\n", *benchName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "scord: unknown benchmark %q\n", *benchName)
+		return 2
 	}
 
 	dm, err := parseMode(*mode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scord:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "scord:", err)
+		return 2
 	}
 
 	var active []string
@@ -140,74 +159,103 @@ func main() {
 	}
 
 	if err := scor.Scale(bench, *scale); err != nil {
-		fmt.Fprintln(os.Stderr, "scord:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "scord:", err)
+		return 2
 	}
 	cfg := config.Default().WithDetector(dm)
 	cfg.Seed = *seed
 	cfg.DeviceMemBytes *= *scale
 	dev, err := gpu.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scord:", err)
-		os.Exit(1)
+		logger.Error("building device", "err", err)
+		return 1
 	}
 	var tr *trace.Tracer
-	if *traceN > 0 {
-		tr = trace.New(*traceN)
+	if *traceN > 0 || *perfetto != "" {
+		n := *traceN
+		if n <= 0 {
+			n = perfettoTraceCap
+		}
+		tr = trace.New(n)
 		dev.AttachTracer(tr)
 	}
 	if err := bench.Run(dev, active); err != nil {
-		fmt.Fprintf(os.Stderr, "scord: %s failed: %v\n", bench.Name(), err)
-		os.Exit(1)
+		logger.Error("benchmark failed", "benchmark", bench.Name(), "err", err)
+		return 1
 	}
 
 	if *jsonOut {
-		emitJSON(dev, bench, dm, active, *seed)
-		return
+		if err := emitJSON(stdout, dev, bench, dm, active, *seed); err != nil {
+			logger.Error("encoding json report", "err", err)
+			return 1
+		}
+	} else {
+		renderText(stdout, dev, bench, dm, active, *explain)
+		if *traceN > 0 {
+			fmt.Fprintf(stdout, "\nlast %d execution events:\n", tr.Len())
+			if _, err := tr.WriteTo(stdout); err != nil {
+				logger.Error("dumping trace", "err", err)
+				return 1
+			}
+		}
 	}
 
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			logger.Error("creating perfetto trace", "err", err)
+			return 1
+		}
+		if err := obs.WritePerfetto(f, tr.Events()); err != nil {
+			f.Close()
+			os.Remove(*perfetto)
+			logger.Error("writing perfetto trace", "err", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("writing perfetto trace", "err", err)
+			return 1
+		}
+		logger.Info("wrote perfetto trace", "path", *perfetto, "events", tr.Len())
+	}
+	return 0
+}
+
+func renderText(w io.Writer, dev *gpu.Device, bench scor.Benchmark, dm config.DetectorMode, active []string, explain bool) {
 	st := dev.Stats()
-	fmt.Printf("benchmark  %s\n", bench.Name())
-	fmt.Printf("detector   %v\n", dm)
-	fmt.Printf("injections %v\n", active)
-	fmt.Printf("cycles     %d\n", st.Cycles)
-	fmt.Printf("mem ops    %d (atomics %d, fences %d, barriers %d)\n",
+	fmt.Fprintf(w, "benchmark  %s\n", bench.Name())
+	fmt.Fprintf(w, "detector   %v\n", dm)
+	fmt.Fprintf(w, "injections %v\n", active)
+	fmt.Fprintf(w, "cycles     %d\n", st.Cycles)
+	fmt.Fprintf(w, "mem ops    %d (atomics %d, fences %d, barriers %d)\n",
 		st.MemOps, st.Atomics, st.Fences, st.Barriers)
-	fmt.Printf("L1 hit     %.1f%%\n", 100*st.L1HitRate())
-	fmt.Printf("DRAM       %d data + %d metadata accesses\n",
+	fmt.Fprintf(w, "L1 hit     %.1f%%\n", 100*st.L1HitRate())
+	fmt.Fprintf(w, "DRAM       %d data + %d metadata accesses\n",
 		st.DRAMDataAccesses, st.DRAMMetaAccesses)
 	if dm != config.ModeOff {
-		fmt.Printf("checks     %d (%d trivially race-free)\n", st.DetectorChecks, st.DetectorPrelimOK)
+		fmt.Fprintf(w, "checks     %d (%d trivially race-free)\n", st.DetectorChecks, st.DetectorPrelimOK)
 	}
 
 	recs := dev.Races()
-	fmt.Printf("\n%d unique race(s) detected\n", len(recs))
+	fmt.Fprintf(w, "\n%d unique race(s) detected\n", len(recs))
 	for _, r := range recs {
-		if *explain {
-			fmt.Println(dev.ExplainRecord(r))
+		if explain {
+			fmt.Fprintln(w, dev.ExplainRecord(r))
 		} else {
-			fmt.Println("  ", dev.DescribeRecord(r))
+			fmt.Fprintln(w, "  ", dev.DescribeRecord(r))
 		}
 	}
 	if len(active) > 0 {
 		res := scor.MatchRaces(dev, bench.ExpectedRaces(active))
-		fmt.Printf("\nexpected %d unique race(s): caught %v", res.Expected, res.Caught)
+		fmt.Fprintf(w, "\nexpected %d unique race(s): caught %v", res.Expected, res.Caught)
 		if len(res.Missed) > 0 {
-			fmt.Printf(", MISSED %v", res.Missed)
+			fmt.Fprintf(w, ", MISSED %v", res.Missed)
 		}
-		fmt.Println()
-	}
-
-	if tr != nil {
-		fmt.Printf("\nlast %d execution events:\n", tr.Len())
-		if _, err := tr.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "scord:", err)
-			os.Exit(1)
-		}
+		fmt.Fprintln(w)
 	}
 }
 
-func emitJSON(dev *gpu.Device, bench scor.Benchmark, dm config.DetectorMode, active []string, seed int64) {
+func emitJSON(w io.Writer, dev *gpu.Device, bench scor.Benchmark, dm config.DetectorMode, active []string, seed int64) error {
 	rep := jsonReport{
 		Benchmark:  bench.Name(),
 		Detector:   dm.String(),
@@ -242,10 +290,7 @@ func emitJSON(dev *gpu.Device, bench scor.Benchmark, dm config.DetectorMode, act
 		res := scor.MatchRaces(dev, bench.ExpectedRaces(active))
 		rep.Match = &jsonMatchResult{Expected: res.Expected, Caught: res.Caught, Missed: res.Missed}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "scord:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(rep)
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExitsCleanly(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fence.racey.cross-none") {
+		t.Errorf("-list output missing microbenchmarks:\n%s", out.String())
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bench", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown benchmark "nope"`) {
+		t.Fatalf("stderr %q missing diagnostic", errOut.String())
+	}
+}
+
+// TestPerfettoFlagWritesValidTrace: `scord -perfetto out.json` on a racey
+// microbenchmark produces trace_event JSON that parses, names warp
+// tracks, spans the kernel, and carries at least one race instant — the
+// whole export path from tracer ring to file, through the CLI.
+func TestPerfettoFlagWritesValidTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-bench", "fence.racey.cross-none", "-mode", "scord", "-perfetto", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "race(s) detected") {
+		t.Errorf("stdout lost the normal report:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  uint64            `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto output does not parse: %v", err)
+	}
+	var kernelSpans, threadNames, races int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name != "barrier-wait":
+			kernelSpans++
+			if e.Dur == 0 {
+				t.Errorf("kernel span %q has zero duration", e.Name)
+			}
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames++
+		case e.Ph == "i" && e.Name == "race":
+			races++
+			if e.Args["addr"] == "" {
+				t.Error("race instant missing addr arg")
+			}
+		}
+	}
+	if kernelSpans == 0 {
+		t.Error("no kernel spans in perfetto trace")
+	}
+	if threadNames < 2 {
+		t.Errorf("expected kernel + warp thread_name metadata, got %d", threadNames)
+	}
+	if races == 0 {
+		t.Error("no race instants in perfetto trace from a racey micro")
+	}
+}

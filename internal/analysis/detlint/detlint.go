@@ -51,6 +51,11 @@ var deterministicCore = map[string]bool{
 	"scord/internal/dram":      true,
 	"scord/internal/mem":       true,
 	"scord/internal/detectors": true,
+	// The observability subsystem sits on the result path when attached
+	// (sampled metrics are part of a run's deterministic output), so it
+	// obeys the same contract: no wall-clock, no global rand, no
+	// map-order-dependent serialization.
+	"scord/internal/obs": true,
 }
 
 func inDeterministicCore(pkgPath string) bool { return deterministicCore[pkgPath] }

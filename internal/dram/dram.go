@@ -25,19 +25,21 @@ type channel struct {
 
 // DRAM is the collection of channels. Not safe for concurrent use.
 type DRAM struct {
-	cfg      config.Config
-	channels []channel
-	rowBytes uint64
-	accesses uint64
-	rowHits  uint64
+	cfg        config.Config
+	channels   []channel
+	rowBytes   uint64
+	accesses   uint64
+	rowHits    uint64
+	chAccesses []uint64 // per-channel transaction counts, indexed by channel
 }
 
 // New builds the DRAM model from the hardware configuration.
 func New(cfg config.Config) *DRAM {
 	d := &DRAM{
-		cfg:      cfg,
-		channels: make([]channel, cfg.MemChannels),
-		rowBytes: 2048,
+		cfg:        cfg,
+		channels:   make([]channel, cfg.MemChannels),
+		rowBytes:   2048,
+		chAccesses: make([]uint64, cfg.MemChannels),
 	}
 	for i := range d.channels {
 		d.channels[i].banks = make([]bank, cfg.BanksPerChan)
@@ -68,6 +70,7 @@ func (d *DRAM) Access(a mem.Addr, ready uint64) uint64 {
 	c := &d.channels[chIdx]
 	b := &c.banks[bkIdx]
 	d.accesses++
+	d.chAccesses[chIdx]++
 
 	start := max64(ready, b.busyUntil)
 	var dataAt uint64
@@ -99,6 +102,22 @@ func (d *DRAM) Access(a mem.Addr, ready uint64) uint64 {
 
 // Accesses returns the number of transactions scheduled so far.
 func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// ChannelAccesses copies the per-channel transaction counts (indexed by
+// channel). The per-channel split shows which channels a workload loads —
+// the cycle-domain sampler in internal/obs snapshots it every interval.
+func (d *DRAM) ChannelAccesses() []uint64 {
+	out := make([]uint64, len(d.chAccesses))
+	copy(out, d.chAccesses)
+	return out
+}
+
+// ChannelAccessesInto copies the per-channel counts into dst, which must
+// have one element per channel. The allocation-free variant for callers
+// that snapshot repeatedly.
+func (d *DRAM) ChannelAccessesInto(dst []uint64) {
+	copy(dst, d.chAccesses)
+}
 
 // RowHitRate returns the fraction of accesses that hit an open row.
 func (d *DRAM) RowHitRate() float64 {

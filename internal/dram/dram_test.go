@@ -58,6 +58,42 @@ func TestAccessCounting(t *testing.T) {
 	}
 }
 
+// TestChannelAccessCounting: per-channel counts attribute each transaction
+// to the channel mapAddr routes it to, and they sum to the total.
+func TestChannelAccessCounting(t *testing.T) {
+	cfg := config.Default()
+	d := New(cfg)
+	want := make([]uint64, cfg.MemChannels)
+	for i := 0; i < 3*cfg.MemChannels+1; i++ {
+		a := mem.Addr(i * cfg.LineSize)
+		ch, _, _ := d.mapAddr(a)
+		want[ch]++
+		d.Access(a, 0)
+	}
+	got := d.ChannelAccesses()
+	if len(got) != cfg.MemChannels {
+		t.Fatalf("ChannelAccesses has %d entries, want %d", len(got), cfg.MemChannels)
+	}
+	var sum uint64
+	for ch, n := range got {
+		sum += n
+		if n != want[ch] {
+			t.Fatalf("channel %d = %d accesses, want %d", ch, n, want[ch])
+		}
+	}
+	if sum != d.Accesses() {
+		t.Fatalf("channel counts sum to %d, total is %d", sum, d.Accesses())
+	}
+	// The Into variant fills without allocating a fresh slice.
+	into := make([]uint64, cfg.MemChannels)
+	d.ChannelAccessesInto(into)
+	for ch := range into {
+		if into[ch] != got[ch] {
+			t.Fatalf("ChannelAccessesInto[%d] = %d, want %d", ch, into[ch], got[ch])
+		}
+	}
+}
+
 // Property: completion is never before the ready cycle, and per-bank
 // completions are monotone.
 func TestTimingMonotoneProperty(t *testing.T) {

@@ -12,6 +12,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"scord/internal/cache"
 	"scord/internal/config"
@@ -52,6 +53,15 @@ type Device struct {
 	// tracer, when attached, records per-warp execution events.
 	tracer *trace.Tracer
 
+	// probe, when attached, observes the simulated clock at every request
+	// service point (the cycle-domain sampling hook of internal/obs).
+	probe Probe
+
+	// cycleWatch, when attached, receives the current simulated cycle so
+	// an external observer (live run telemetry) can read progress without
+	// touching simulation state.
+	cycleWatch *atomic.Uint64
+
 	// State of the kernel currently executing.
 	kernel        Kernel
 	gridBlocks    int
@@ -79,6 +89,29 @@ type smState struct {
 	lsuFree   uint64 // next cycle the load/store unit can issue
 	resBlocks int
 	resWarps  int
+	ctr       SMCounters
+}
+
+// SMCounters aggregates one SM's activity, cumulative over the device's
+// lifetime like stats.Stats. The per-SM split is what shows *which* SMs a
+// kernel loads or stalls — the totals in Stats cannot.
+type SMCounters struct {
+	Instructions   uint64 // warp instructions issued from this SM
+	MemOps         uint64 // warp-level memory operations issued
+	L1Accesses     uint64
+	L1Hits         uint64
+	DetectorStalls uint64 // cycles this SM's L1 hits stalled on the detector inbox
+}
+
+// Sub returns the field-wise difference c - o (all fields are monotone).
+func (c SMCounters) Sub(o SMCounters) SMCounters {
+	return SMCounters{
+		Instructions:   c.Instructions - o.Instructions,
+		MemOps:         c.MemOps - o.MemOps,
+		L1Accesses:     c.L1Accesses - o.L1Accesses,
+		L1Hits:         c.L1Hits - o.L1Hits,
+		DetectorStalls: c.DetectorStalls - o.DetectorStalls,
+	}
 }
 
 type blockState struct {
@@ -140,6 +173,47 @@ func (d *Device) AddChecker(c core.Checker) { d.checkers = append(d.checkers, c)
 // barriers, kernel boundaries, races) into tr until detached with nil.
 // Tracing is purely observational.
 func (d *Device) AttachTracer(tr *trace.Tracer) { d.tracer = tr }
+
+// Probe observes the simulated clock from inside the simulation loop. It
+// is invoked at every warp request service point and once at the end of
+// each launch, always with the current simulated cycle — wall-clock time
+// never appears. A probe must not mutate simulation state; like the
+// tracer and checkers it is purely observational, and a detached (nil)
+// probe costs a single predictable branch.
+type Probe interface {
+	Tick(now uint64)
+}
+
+// SetProbe attaches the cycle-domain observer (nil detaches it).
+func (d *Device) SetProbe(p Probe) { d.probe = p }
+
+// WatchCycles publishes the current simulated cycle into g at every
+// request service point, letting another goroutine (live run telemetry)
+// read simulation progress. The store is atomic and carries no other
+// synchronization; nil detaches.
+func (d *Device) WatchCycles(g *atomic.Uint64) { d.cycleWatch = g }
+
+// SMCountersSnapshot copies the per-SM activity counters, indexed by SM id.
+func (d *Device) SMCountersSnapshot() []SMCounters {
+	out := make([]SMCounters, len(d.sms))
+	d.SMCountersInto(out)
+	return out
+}
+
+// SMCountersInto copies the per-SM counters into dst (one element per
+// SM) without allocating.
+func (d *Device) SMCountersInto(dst []SMCounters) {
+	for i, sm := range d.sms {
+		if i >= len(dst) {
+			return
+		}
+		dst[i] = sm.ctr
+	}
+}
+
+// DRAMChannelAccessesInto copies per-channel DRAM transaction counts into
+// dst (one element per channel) without allocating.
+func (d *Device) DRAMChannelAccessesInto(dst []uint64) { d.dram.ChannelAccessesInto(dst) }
 
 // Races returns the accumulated race records (empty when detection is off).
 func (d *Device) Races() []core.Record {
@@ -238,13 +312,24 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, k Kernel) erro
 		sm.l1.FlushAll(d.mem)
 	}
 	d.st.Cycles = d.eng.Now()
+	if d.tracer != nil {
+		d.tracer.Record(trace.Event{Cycle: d.eng.Now(), Kind: trace.EvKernelEnd, Info: name})
+	}
+	// Flush the sampler's final partial interval at the launch boundary so
+	// the tail of a kernel is never silently dropped from sampled series.
+	if d.probe != nil {
+		d.probe.Tick(d.eng.Now())
+	}
+	if d.cycleWatch != nil {
+		d.cycleWatch.Store(d.eng.Now())
+	}
 
 	run := KernelRun{
 		Name:    name,
 		Blocks:  blocks,
 		Threads: threadsPerBlock,
 		Cycles:  d.eng.Now() - launchStart,
-		Stats:   statsDelta(before, d.st),
+		Stats:   d.st.Sub(&before),
 	}
 	d.kernelLog = append(d.kernelLog, run)
 	return nil
@@ -256,37 +341,6 @@ func (d *Device) KernelLog() []KernelRun {
 	out := make([]KernelRun, len(d.kernelLog))
 	copy(out, d.kernelLog)
 	return out
-}
-
-// statsDelta computes after-minus-before field-wise using the Add
-// machinery in reverse: since all fields are monotone counters, delta is
-// simple subtraction.
-func statsDelta(before, after stats.Stats) stats.Stats {
-	return stats.Stats{
-		Cycles:            after.Cycles - before.Cycles,
-		Instructions:      after.Instructions - before.Instructions,
-		MemOps:            after.MemOps - before.MemOps,
-		Atomics:           after.Atomics - before.Atomics,
-		Fences:            after.Fences - before.Fences,
-		Barriers:          after.Barriers - before.Barriers,
-		L1Accesses:        after.L1Accesses - before.L1Accesses,
-		L1Hits:            after.L1Hits - before.L1Hits,
-		L2DataAccesses:    after.L2DataAccesses - before.L2DataAccesses,
-		L2DataMisses:      after.L2DataMisses - before.L2DataMisses,
-		L2MetaAccesses:    after.L2MetaAccesses - before.L2MetaAccesses,
-		L2MetaMisses:      after.L2MetaMisses - before.L2MetaMisses,
-		DRAMDataAccesses:  after.DRAMDataAccesses - before.DRAMDataAccesses,
-		DRAMMetaAccesses:  after.DRAMMetaAccesses - before.DRAMMetaAccesses,
-		NOCFlits:          after.NOCFlits - before.NOCFlits,
-		NOCExtraFlits:     after.NOCExtraFlits - before.NOCExtraFlits,
-		DetectorChecks:    after.DetectorChecks - before.DetectorChecks,
-		DetectorPrelimOK:  after.DetectorPrelimOK - before.DetectorPrelimOK,
-		DetectorStalls:    after.DetectorStalls - before.DetectorStalls,
-		MetaCacheEvicts:   after.MetaCacheEvicts - before.MetaCacheEvicts,
-		RacesReported:     after.RacesReported - before.RacesReported,
-		ReleaseObserved:   after.ReleaseObserved - before.ReleaseObserved,
-		DivergentAccesses: after.DivergentAccesses - before.DivergentAccesses,
-	}
 }
 
 // fillSMs dispatches pending blocks onto SMs with free slots, round-robin.

@@ -22,18 +22,29 @@ const (
 // service handles one warp request at the current cycle.
 func (d *Device) service(c *Ctx, r *request) {
 	now := d.eng.Now()
+	// Observability hooks: both read the simulated clock only and are
+	// detached (nil) by default — the hot path pays two predictable
+	// branches and zero allocations.
+	if d.probe != nil {
+		d.probe.Tick(now)
+	}
+	if d.cycleWatch != nil {
+		d.cycleWatch.Store(now)
+	}
 	switch r.kind {
 	case reqExit:
 		d.warpExit(c)
 
 	case reqWork:
 		d.st.Instructions++
+		d.sms[c.block.sm].ctr.Instructions++
 		d.eng.At(now+r.cycles, func() { d.resumeWarp(c) })
 
 	case reqFence:
 		d.st.Instructions++
 		d.st.Fences++
 		sm := d.sms[c.block.sm]
+		sm.ctr.Instructions++
 		lat := uint64(blockFenceLat)
 		if r.scope == ScopeDevice {
 			// HRF operational semantics: a device-scope fence makes the
@@ -60,7 +71,12 @@ func (d *Device) service(c *Ctx, r *request) {
 	case reqBarrier:
 		d.st.Instructions++
 		d.st.Barriers++
+		d.sms[c.block.sm].ctr.Instructions++
 		bs := c.block
+		if d.tracer != nil {
+			d.tracer.Record(trace.Event{Cycle: now, Kind: trace.EvBarrierWait,
+				Block: c.Block, Warp: c.Warp})
+		}
 		bs.waiting = append(bs.waiting, c)
 		if len(bs.waiting) == bs.live {
 			d.releaseBarrier(bs)
@@ -191,6 +207,8 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 	now := d.eng.Now()
 	d.st.Instructions++
 	d.st.MemOps++
+	sm.ctr.Instructions++
+	sm.ctr.MemOps++
 	if op.kind == core.KindAtomic {
 		d.st.Atomics++
 	}
@@ -313,6 +331,8 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 		case l1Hit:
 			d.st.L1Accesses++
 			d.st.L1Hits++
+			sm.ctr.L1Accesses++
+			sm.ctr.L1Hits++
 			txDone = issue + uint64(d.cfg.L1HitLat)
 			checkArrive = txDone
 			if detOn && !d.cfg.Detector.DisableNOCTiming {
@@ -323,6 +343,7 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 
 		default: // L1 miss: fetch the line
 			d.st.L1Accesses++
+			sm.ctr.L1Accesses++
 			probeDone := issue + uint64(d.cfg.L1HitLat)
 			arrive := d.net.ToL2(sm.id, bank, pktHeader, probeDone, extra)
 			l2done := d.l2Access(tx.line, arrive, false, false)
@@ -336,6 +357,7 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 				// An L1 hit may not retire while the detector inbox is
 				// full — the LHD overhead of Figure 10.
 				d.st.DetectorStalls += stall
+				sm.ctr.DetectorStalls += stall
 				txDone += stall
 			}
 		}

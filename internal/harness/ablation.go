@@ -55,8 +55,9 @@ func RunAblationCacheRatio(opt Options) (*AblationCacheRatio, error) {
 		for ai, b := range apps {
 			ai, ratio := ai, ratio
 			c := &cells[ri*len(apps)+ai]
+			label := fmt.Sprintf("ablation-ratio/%d/%s/detect", ratio, b.Name())
 			sims = append(sims, Sim{
-				Label: fmt.Sprintf("ablation-ratio/%d/%s/detect", ratio, b.Name()),
+				Label: label,
 				Run: func() error {
 					b := app(ai)
 					conf := cfg.WithDetector(config.ModeCached)
@@ -65,6 +66,8 @@ func RunAblationCacheRatio(opt Options) (*AblationCacheRatio, error) {
 					if err != nil {
 						return err
 					}
+					flush := opt.observe(d, label)
+					defer flush()
 					if err := b.Run(d, b.Injections()); err != nil {
 						return fmt.Errorf("%s at ratio %d: %w", b.Name(), ratio, err)
 					}
@@ -77,8 +80,9 @@ func RunAblationCacheRatio(opt Options) (*AblationCacheRatio, error) {
 			})
 			for _, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
 				mode := mode
+				label := fmt.Sprintf("ablation-ratio/%d/%s/%v", ratio, b.Name(), mode)
 				sims = append(sims, Sim{
-					Label: fmt.Sprintf("ablation-ratio/%d/%s/%v", ratio, b.Name(), mode),
+					Label: label,
 					Run: func() error {
 						conf := cfg.WithDetector(mode)
 						conf.Detector.MetaCacheRatio = ratio
@@ -86,6 +90,8 @@ func RunAblationCacheRatio(opt Options) (*AblationCacheRatio, error) {
 						if err != nil {
 							return err
 						}
+						flush := opt.observe(d, label)
+						defer flush()
 						if err := app(ai).Run(d, nil); err != nil {
 							return err
 						}
@@ -164,8 +170,9 @@ func RunAblationInbox(opt Options) (*AblationInbox, error) {
 			c := &cells[ii*len(apps)+ai]
 			for _, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
 				mode := mode
+				label := fmt.Sprintf("ablation-inbox/%d/%s/%v", inbox, b.Name(), mode)
 				sims = append(sims, Sim{
-					Label: fmt.Sprintf("ablation-inbox/%d/%s/%v", inbox, b.Name(), mode),
+					Label: label,
 					Run: func() error {
 						conf := cfg.WithDetector(mode)
 						conf.Detector.InboxSize = inbox
@@ -173,6 +180,8 @@ func RunAblationInbox(opt Options) (*AblationInbox, error) {
 						if err != nil {
 							return err
 						}
+						flush := opt.observe(d, label)
+						defer flush()
 						if err := app(ai).Run(d, nil); err != nil {
 							return err
 						}
@@ -245,8 +254,9 @@ func RunAblationRate(opt Options) (*AblationRate, error) {
 			c := &cells[ri*len(apps)+ai]
 			for _, mode := range []config.DetectorMode{config.ModeOff, config.ModeCached} {
 				mode := mode
+				label := fmt.Sprintf("ablation-rate/%d/%s/%v", rate, b.Name(), mode)
 				sims = append(sims, Sim{
-					Label: fmt.Sprintf("ablation-rate/%d/%s/%v", rate, b.Name(), mode),
+					Label: label,
 					Run: func() error {
 						conf := cfg.WithDetector(mode)
 						conf.Detector.ChecksPerCycle = rate
@@ -254,6 +264,8 @@ func RunAblationRate(opt Options) (*AblationRate, error) {
 						if err != nil {
 							return err
 						}
+						flush := opt.observe(d, label)
+						defer flush()
 						if err := app(ai).Run(d, nil); err != nil {
 							return err
 						}

@@ -19,10 +19,15 @@ import (
 
 	"scord/internal/config"
 	"scord/internal/gpu"
+	"scord/internal/obs"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 	"scord/internal/stats"
 )
+
+// DefaultSampleEvery is the metric-sampling interval, in simulated cycles,
+// used when Options.Samples is set without an explicit SampleEvery.
+const DefaultSampleEvery = 10_000
 
 // Options parameterizes a harness run.
 type Options struct {
@@ -39,6 +44,46 @@ type Options struct {
 	// Report, when non-nil, accumulates per-job wall-clock and aggregate
 	// worker utilization for every experiment run with these Options.
 	Report *Report
+
+	// Telemetry, when non-nil, receives live run progress: job lifecycle
+	// counts from the runner and per-job simulated-cycle gauges from the
+	// devices. Purely observational — results never depend on it.
+	Telemetry *obs.RunTelemetry
+
+	// Samples, when non-nil, attaches a cycle-domain sampler to every
+	// device the harness builds; each job emits per-interval metric deltas
+	// into the collector under its own label, so the serialized output is
+	// identical at any worker count.
+	Samples *obs.Collector
+
+	// SampleEvery is the sampling interval in simulated cycles; 0 means
+	// DefaultSampleEvery. Only meaningful with Samples set.
+	SampleEvery uint64
+}
+
+// observe attaches the configured observers to a freshly built device and
+// returns a flush function to call once the job's simulation is done (it
+// emits the sampler's final partial interval). With no observers
+// configured both the attach and the flush are no-ops and the device's
+// hot path keeps its detached nil-checks.
+func (o Options) observe(d *gpu.Device, label string) func() {
+	var s *obs.Sampler
+	if o.Samples != nil {
+		every := o.SampleEvery
+		if every == 0 {
+			every = DefaultSampleEvery
+		}
+		s = obs.NewSampler(d, every, o.Samples.Series(label))
+		d.SetProbe(s)
+	}
+	if o.Telemetry != nil {
+		d.WatchCycles(&o.Telemetry.JobQueued(label).Cycles)
+	}
+	return func() {
+		if s != nil {
+			s.Flush(d.Cycles())
+		}
+	}
 }
 
 func (o Options) cfg() config.Config {
@@ -49,12 +94,15 @@ func (o Options) cfg() config.Config {
 }
 
 // runApp executes one benchmark under the given detector mode and returns
-// the device (for stats and race records).
-func runApp(cfg config.Config, b scor.Benchmark, mode config.DetectorMode, active []string) (*gpu.Device, error) {
+// the device (for stats and race records). label identifies the job to the
+// observers configured in opt.
+func runApp(opt Options, cfg config.Config, label string, b scor.Benchmark, mode config.DetectorMode, active []string) (*gpu.Device, error) {
 	d, err := gpu.New(cfg.WithDetector(mode))
 	if err != nil {
 		return nil, err
 	}
+	flush := opt.observe(d, label)
+	defer flush()
 	if err := b.Run(d, active); err != nil {
 		return nil, fmt.Errorf("%s [%v/%v]: %w", b.Name(), mode, active, err)
 	}
@@ -104,11 +152,12 @@ func RunTable6(opt Options) (*Table6, error) {
 		for _, mode := range modes {
 			i, mode := slot, mode
 			slot++
+			label := fmt.Sprintf("table6/%s/%v", name, mode)
 			sims = append(sims, Sim{
-				Label: fmt.Sprintf("table6/%s/%v", name, mode),
+				Label: label,
 				Run: func() error {
 					b := fresh()
-					d, err := runApp(cfg, b, mode, b.Injections())
+					d, err := runApp(opt, cfg, label, b, mode, b.Injections())
 					if err != nil {
 						return err
 					}
@@ -196,10 +245,11 @@ func RunTable7(opt Options) (*Table7, error) {
 		for mi, mode := range modes {
 			ai, mode := ai, mode
 			i := ai*len(modes) + mi
+			label := fmt.Sprintf("table7/%s/%v", b.Name(), mode)
 			sims = append(sims, Sim{
-				Label: fmt.Sprintf("table7/%s/%v", b.Name(), mode),
+				Label: label,
 				Run: func() error {
-					d, err := runApp(cfg, app(ai), mode, nil)
+					d, err := runApp(opt, cfg, label, app(ai), mode, nil)
 					if err != nil {
 						return err
 					}
@@ -273,10 +323,11 @@ func RunFig8(opt Options) (*Fig8, error) {
 		for mi, mode := range modes {
 			ai, mode := ai, mode
 			i := ai*len(modes) + mi
+			label := fmt.Sprintf("fig8/%s/%v", b.Name(), mode)
 			sims = append(sims, Sim{
-				Label: fmt.Sprintf("fig8/%s/%v", b.Name(), mode),
+				Label: label,
 				Run: func() error {
-					d, err := runApp(cfg, app(ai), mode, nil)
+					d, err := runApp(opt, cfg, label, app(ai), mode, nil)
 					if err != nil {
 						return err
 					}
@@ -347,10 +398,11 @@ func RunFig9(opt Options) (*Fig9, error) {
 		for mi, mode := range modes {
 			ai, mode := ai, mode
 			i := ai*len(modes) + mi
+			label := fmt.Sprintf("fig9/%s/%v", b.Name(), mode)
 			sims = append(sims, Sim{
-				Label: fmt.Sprintf("fig9/%s/%v", b.Name(), mode),
+				Label: label,
 				Run: func() error {
-					d, err := runApp(cfg, app(ai), mode, nil)
+					d, err := runApp(opt, cfg, label, app(ai), mode, nil)
 					if err != nil {
 						return err
 					}
@@ -430,8 +482,9 @@ func RunFig10(opt Options) (*Fig10, error) {
 		for vi, v := range variants {
 			ai, v := ai, v
 			i := ai*len(variants) + vi
+			label := fmt.Sprintf("fig10/%s/%s", b.Name(), v.name)
 			sims = append(sims, Sim{
-				Label: fmt.Sprintf("fig10/%s/%s", b.Name(), v.name),
+				Label: label,
 				Run: func() error {
 					c := cfg.WithDetector(config.ModeCached)
 					if v.mut != nil {
@@ -441,6 +494,8 @@ func RunFig10(opt Options) (*Fig10, error) {
 					if err != nil {
 						return err
 					}
+					flush := opt.observe(d, label)
+					defer flush()
 					if err := app(ai).Run(d, nil); err != nil {
 						return err
 					}
@@ -531,10 +586,11 @@ func RunFig11(opt Options) (*Fig11, error) {
 			for mi, mode := range modes {
 				ai, p, mode := ai, p, mode
 				i := (ai*len(presets)+pi)*len(modes) + mi
+				label := fmt.Sprintf("fig11/%s/%s/%v", b.Name(), p.name, mode)
 				sims = append(sims, Sim{
-					Label: fmt.Sprintf("fig11/%s/%s/%v", b.Name(), p.name, mode),
+					Label: label,
 					Run: func() error {
-						d, err := runApp(p.cfg, app(ai), mode, nil)
+						d, err := runApp(opt, p.cfg, label, app(ai), mode, nil)
 						if err != nil {
 							return err
 						}

@@ -138,6 +138,13 @@ func runAll(opt Options, sims []Sim) error {
 		workers = 1
 	}
 
+	if opt.Telemetry != nil {
+		opt.Telemetry.SetWorkers(workers)
+		for _, s := range sims {
+			opt.Telemetry.JobQueued(s.Label)
+		}
+	}
+
 	errs := make([]error, len(sims))
 	timings := make([]JobTiming, len(sims))
 	start := time.Now() //scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
@@ -152,10 +159,16 @@ func runAll(opt Options, sims []Sim) error {
 				if i >= len(sims) {
 					return
 				}
+				if opt.Telemetry != nil {
+					opt.Telemetry.JobStarted(sims[i].Label)
+				}
 				t0 := time.Now() //scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
 				errs[i] = sims[i].Run()
 				//scord:allow(detlint/walltime) scheduling telemetry only; never feeds simulation results
 				timings[i] = JobTiming{Label: sims[i].Label, Wall: time.Since(t0)}
+				if opt.Telemetry != nil {
+					opt.Telemetry.JobDone(sims[i].Label)
+				}
 			}
 		}()
 	}

@@ -71,14 +71,17 @@ func RunTable8(opt Options) (*Table8, error) {
 	var sims []Sim
 	for mi, m := range micros {
 		mi := mi
+		label := "table8/" + m.Name()
 		sims = append(sims, Sim{
-			Label: "table8/" + m.Name(),
+			Label: label,
 			Run: func() error {
 				m := micro.All()[mi]
 				d, err := gpu.New(cfg.WithDetector(config.ModeFull4B))
 				if err != nil {
 					return err
 				}
+				flush := opt.observe(d, label)
+				defer flush()
 				models := detectors.All()
 				for _, mod := range models {
 					d.AddChecker(mod)

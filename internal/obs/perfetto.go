@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"scord/internal/trace"
+)
+
+// PerfettoEvent is one Chrome trace_event record. The subset used here:
+// "X" complete events carry ts+dur, "i" instants carry ts and a scope,
+// "M" metadata events name processes and threads.
+type PerfettoEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// PerfettoTrace is the JSON-object form of the trace_event format, which
+// both chrome://tracing and ui.perfetto.dev load directly.
+type PerfettoTrace struct {
+	TraceEvents     []PerfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// WritePerfetto renders traced simulator events as trace_event JSON.
+// Timestamps are simulated cycles presented as microseconds (1 cycle =
+// 1 us), so the viewer's time axis reads directly in cycles.
+//
+// The mapping:
+//   - EvKernel .. EvKernelEnd pairs become "X" spans on the kernel track
+//     (tid 0); a kernel still open at the end of the trace is closed at
+//     the last event's cycle.
+//   - EvBarrierWait opens a per-warp wait that the block's next EvBarrier
+//     release closes, giving each warp's barrier-wait interval as an "X"
+//     span on that warp's track.
+//   - EvRace becomes a thread-scoped "i" instant on the racing warp's
+//     track, with the address and source site in args.
+//   - EvFence becomes a thread-scoped "i" instant (scope in args).
+//
+// Warp tracks are numbered deterministically: unique (block, warp) pairs
+// sorted ascending get tids 1, 2, ... with "M" thread_name metadata, so
+// identical traces serialize identically.
+func WritePerfetto(w io.Writer, events []trace.Event) error {
+	// Assign tids: kernel track is 0; (block, warp) tracks follow sorted.
+	type bw struct{ block, warp int }
+	seen := map[bw]bool{}
+	var pairs []bw
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvKernel, trace.EvKernelEnd, trace.EvBarrier:
+			continue
+		}
+		p := bw{e.Block, e.Warp}
+		if !seen[p] {
+			seen[p] = true
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].block != pairs[j].block {
+			return pairs[i].block < pairs[j].block
+		}
+		return pairs[i].warp < pairs[j].warp
+	})
+	tids := map[bw]int{}
+	out := []PerfettoEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "scord device"},
+	}, {
+		Name: "thread_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "kernel"},
+	}}
+	for i, p := range pairs {
+		tids[p] = i + 1
+		out = append(out, PerfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i + 1,
+			Args: map[string]string{"name": fmt.Sprintf("b%d.w%d", p.block, p.warp)},
+		})
+	}
+
+	var last uint64
+	for _, e := range events {
+		if e.Cycle > last {
+			last = e.Cycle
+		}
+	}
+
+	// Pair spans in one chronological pass.
+	type openWait struct {
+		warp  bw
+		start uint64
+	}
+	var kernelName string
+	var kernelStart uint64
+	kernelOpen := false
+	waits := map[int][]openWait{} // block -> open barrier waits
+	closeKernel := func(end uint64) {
+		out = append(out, PerfettoEvent{
+			Name: kernelName, Ph: "X", Ts: kernelStart, Dur: end - kernelStart,
+			Pid: 0, Tid: 0,
+		})
+		kernelOpen = false
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvKernel:
+			if kernelOpen {
+				closeKernel(e.Cycle)
+			}
+			kernelName, kernelStart, kernelOpen = e.Info, e.Cycle, true
+
+		case trace.EvKernelEnd:
+			if kernelOpen {
+				closeKernel(e.Cycle)
+			}
+
+		case trace.EvBarrierWait:
+			waits[e.Block] = append(waits[e.Block], openWait{bw{e.Block, e.Warp}, e.Cycle})
+
+		case trace.EvBarrier:
+			for _, wt := range waits[e.Block] {
+				out = append(out, PerfettoEvent{
+					Name: "barrier-wait", Ph: "X", Ts: wt.start, Dur: e.Cycle - wt.start,
+					Pid: 0, Tid: tids[wt.warp],
+					Args: map[string]string{"release": e.Info},
+				})
+			}
+			delete(waits, e.Block)
+
+		case trace.EvRace:
+			out = append(out, PerfettoEvent{
+				Name: "race", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: tids[bw{e.Block, e.Warp}], S: "t",
+				Args: map[string]string{
+					"addr": fmt.Sprintf("%#x", e.Addr),
+					"site": e.Info,
+				},
+			})
+
+		case trace.EvFence:
+			out = append(out, PerfettoEvent{
+				Name: "fence", Ph: "i", Ts: e.Cycle, Pid: 0, Tid: tids[bw{e.Block, e.Warp}], S: "t",
+				Args: map[string]string{"scope": e.Info},
+			})
+		}
+	}
+	if kernelOpen {
+		closeKernel(last)
+	}
+	// Close dangling waits (ring eviction can drop a release) at the end
+	// of the trace. Blocks are visited in sorted order for stable output.
+	var openBlocks []int
+	for b, ws := range waits {
+		if len(ws) > 0 {
+			openBlocks = append(openBlocks, b)
+		}
+	}
+	sort.Ints(openBlocks)
+	for _, b := range openBlocks {
+		for _, wt := range waits[b] {
+			out = append(out, PerfettoEvent{
+				Name: "barrier-wait", Ph: "X", Ts: wt.start, Dur: last - wt.start,
+				Pid: 0, Tid: tids[wt.warp],
+				Args: map[string]string{"release": "unreleased-at-trace-end"},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(PerfettoTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

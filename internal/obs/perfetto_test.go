@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/scor/micro"
+	"scord/internal/trace"
+)
+
+// TestPerfettoSyntheticSpans: the exporter pairs kernel and barrier span
+// events and emits race instants, and the output parses as trace_event
+// JSON.
+func TestPerfettoSyntheticSpans(t *testing.T) {
+	events := []trace.Event{
+		{Cycle: 0, Kind: trace.EvKernel, Info: "k"},
+		{Cycle: 10, Kind: trace.EvBarrierWait, Block: 0, Warp: 0},
+		{Cycle: 14, Kind: trace.EvBarrierWait, Block: 0, Warp: 1},
+		{Cycle: 20, Kind: trace.EvBarrier, Block: 0, Info: "id=1 warps=2"},
+		{Cycle: 25, Kind: trace.EvRace, Block: 0, Warp: 1, Addr: 0x80, Info: "site.x"},
+		{Cycle: 40, Kind: trace.EvKernelEnd, Info: "k"},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var kernel, waits, races int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == "k":
+			kernel++
+			if e.Ts != 0 || e.Dur != 40 {
+				t.Fatalf("kernel span ts=%d dur=%d", e.Ts, e.Dur)
+			}
+		case e.Ph == "X" && e.Name == "barrier-wait":
+			waits++
+			if e.Ts+e.Dur != 20 {
+				t.Fatalf("wait span does not end at release: ts=%d dur=%d", e.Ts, e.Dur)
+			}
+		case e.Ph == "i" && e.Name == "race":
+			races++
+			if e.Args["addr"] != "0x80" || e.Args["site"] != "site.x" {
+				t.Fatalf("race args: %v", e.Args)
+			}
+		}
+	}
+	if kernel != 1 || waits != 2 || races != 1 {
+		t.Fatalf("kernel=%d waits=%d races=%d", kernel, waits, races)
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	events := []trace.Event{
+		{Cycle: 0, Kind: trace.EvKernel, Info: "k"},
+		{Cycle: 3, Kind: trace.EvLoad, Block: 1, Warp: 0, Addr: 4},
+		{Cycle: 5, Kind: trace.EvFence, Block: 1, Warp: 0, Info: "device"},
+		{Cycle: 9, Kind: trace.EvKernelEnd, Info: "k"},
+	}
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same events serialized differently")
+	}
+}
+
+// TestPerfettoFromInjectedRace: end to end — run the racey producer/
+// consumer microbenchmark under ScoRD, add a barrier kernel, export the
+// trace, and re-parse it. The export must contain the kernel spans, at
+// least one barrier-wait interval, and the injected race annotation.
+func TestPerfettoFromInjectedRace(t *testing.T) {
+	var m *micro.Micro
+	for _, mm := range micro.All() {
+		if mm.Name() == "fence.racey.cross-none" {
+			m = mm
+		}
+	}
+	if m == nil {
+		t.Fatal("micro fence.racey.cross-none not found")
+	}
+	d, err := gpu.New(config.Default().WithDetector(config.ModeCached))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(1 << 14)
+	d.AttachTracer(tr)
+	if err := m.Run(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Launch("obs.barrier", 1, 64, func(c *gpu.Ctx) {
+		c.Work(5 + 3*c.Warp)
+		c.SyncThreads()
+		c.Work(2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	kernels := map[string]bool{}
+	var waits, races int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Tid == 0:
+			kernels[e.Name] = true
+		case e.Ph == "X" && e.Name == "barrier-wait":
+			waits++
+		case e.Ph == "i" && e.Name == "race":
+			races++
+		}
+	}
+	if !kernels["micro.fence.racey.cross-none"] || !kernels["obs.barrier"] {
+		t.Fatalf("kernel spans missing: %v", kernels)
+	}
+	if waits == 0 {
+		t.Fatal("no barrier-wait spans from the barrier kernel")
+	}
+	if races == 0 {
+		t.Fatal("no race annotation from the injected race")
+	}
+}

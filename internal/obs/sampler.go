@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+
+	"scord/internal/gpu"
+	"scord/internal/stats"
+)
+
+// Sampler snapshots a device's counters every `every` simulated cycles
+// into a Series. It implements gpu.Probe and is driven lazily: the device
+// calls Tick at each request service point, and the sampler emits one row
+// set per elapsed interval boundary. Sampling is therefore a pure function
+// of the simulated event stream — no timers, no goroutines — and two runs
+// of the same configuration produce byte-identical series.
+//
+// Because ticks only happen when the simulation does work, quiet intervals
+// produce no rows: the Cycle column is explicit, so gaps in it are
+// well-defined (nothing happened) rather than silently resampled.
+//
+// The fast path — a tick inside the current interval — is a single
+// comparison and performs no allocation; the test suite pins this with
+// testing.AllocsPerRun.
+type Sampler struct {
+	dev    *gpu.Device
+	every  uint64
+	series *Series
+
+	next      uint64 // first cycle at which the next emission is due
+	lastEmit  uint64 // cycle label of the most recent emission
+	emitted   bool
+	prevStats stats.Stats
+
+	prevSM []gpu.SMCounters
+	curSM  []gpu.SMCounters
+	prevDR []uint64
+	curDR  []uint64
+
+	smNames   [][5]string // per-SM metric names, precomputed
+	dramNames []string    // per-channel metric names, precomputed
+}
+
+// NewSampler attaches a sampler for d that emits into series every `every`
+// simulated cycles (minimum 1). Attach it with d.SetProbe(s) and flush the
+// final partial interval with Flush when the run completes.
+func NewSampler(d *gpu.Device, every uint64, series *Series) *Sampler {
+	if every == 0 {
+		every = 1
+	}
+	cfg := d.Config()
+	s := &Sampler{
+		dev:    d,
+		every:  every,
+		series: series,
+		next:   every,
+		prevSM: make([]gpu.SMCounters, cfg.NumSMs),
+		curSM:  make([]gpu.SMCounters, cfg.NumSMs),
+		prevDR: make([]uint64, cfg.MemChannels),
+		curDR:  make([]uint64, cfg.MemChannels),
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		s.smNames = append(s.smNames, [5]string{
+			fmt.Sprintf("sm%d.instructions", i),
+			fmt.Sprintf("sm%d.mem_ops", i),
+			fmt.Sprintf("sm%d.l1_accesses", i),
+			fmt.Sprintf("sm%d.l1_hits", i),
+			fmt.Sprintf("sm%d.detector_stalls", i),
+		})
+	}
+	for ch := 0; ch < cfg.MemChannels; ch++ {
+		s.dramNames = append(s.dramNames, fmt.Sprintf("dram%d.accesses", ch))
+	}
+	return s
+}
+
+// Tick implements gpu.Probe. now is the current simulated cycle.
+func (s *Sampler) Tick(now uint64) {
+	if now < s.next {
+		return
+	}
+	bucket := now / s.every * s.every
+	s.emit(bucket)
+	s.next = bucket + s.every
+}
+
+// Flush emits the partial interval ending at now (the tail of a run that
+// stopped between boundaries). Call it once when the simulation is done;
+// flushing at a cycle already emitted is a no-op.
+func (s *Sampler) Flush(now uint64) {
+	if s.emitted && now <= s.lastEmit {
+		return
+	}
+	s.emit(now)
+	s.next = now/s.every*s.every + s.every
+}
+
+// emit appends one row per metric, valued as the delta since the previous
+// emission and labelled with the interval-end cycle.
+func (s *Sampler) emit(cycle uint64) {
+	st := *s.dev.Stats()
+	delta := st.Sub(&s.prevStats)
+	for _, f := range delta.Fields() {
+		s.series.Append(cycle, f.Name, f.Value)
+	}
+	s.prevStats = st
+
+	s.dev.SMCountersInto(s.curSM)
+	for i := range s.curSM {
+		d := s.curSM[i].Sub(s.prevSM[i])
+		names := &s.smNames[i]
+		s.series.Append(cycle, names[0], d.Instructions)
+		s.series.Append(cycle, names[1], d.MemOps)
+		s.series.Append(cycle, names[2], d.L1Accesses)
+		s.series.Append(cycle, names[3], d.L1Hits)
+		s.series.Append(cycle, names[4], d.DetectorStalls)
+	}
+	s.prevSM, s.curSM = s.curSM, s.prevSM
+
+	s.dev.DRAMChannelAccessesInto(s.curDR)
+	for ch := range s.curDR {
+		s.series.Append(cycle, s.dramNames[ch], s.curDR[ch]-s.prevDR[ch])
+	}
+	s.prevDR, s.curDR = s.curDR, s.prevDR
+
+	s.lastEmit = cycle
+	s.emitted = true
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/mem"
+)
+
+// sampledRun executes a small two-block kernel with a sampler attached and
+// returns the device and its series.
+func sampledRun(t *testing.T, every uint64) (*gpu.Device, *Series) {
+	t.Helper()
+	d, err := gpu.New(config.Default().WithDetector(config.ModeCached))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := &Series{Label: "test"}
+	s := NewSampler(d, every, series)
+	d.SetProbe(s)
+	buf := d.Alloc("buf", 4096)
+	if err := d.Launch("obs.sample", 2, 64, func(c *gpu.Ctx) {
+		base := buf + mem.Addr(c.GlobalWarp()*256)
+		for i := 0; i < 16; i++ {
+			c.Store(base+mem.Addr(4*i), uint32(i))
+			c.Work(3)
+			c.Load(base + mem.Addr(4*i))
+		}
+		c.SyncThreads()
+		c.Fence(gpu.ScopeDevice)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush(d.Cycles())
+	return d, series
+}
+
+// TestSamplerDeltasTelescope: per-interval deltas of every metric sum to
+// the device's final cumulative counters — no interval is double-counted
+// or dropped, including the flushed tail.
+func TestSamplerDeltasTelescope(t *testing.T) {
+	d, series := sampledRun(t, 200)
+	if len(series.Samples) == 0 {
+		t.Fatal("no samples emitted")
+	}
+	sums := map[string]uint64{}
+	for _, smp := range series.Samples {
+		sums[smp.Metric] += smp.Value
+	}
+	for _, f := range d.Stats().Fields() {
+		if sums[f.Name] != f.Value {
+			t.Errorf("metric %s: sampled sum %d, device total %d", f.Name, sums[f.Name], f.Value)
+		}
+	}
+	for i, ctr := range d.SMCountersSnapshot() {
+		for _, c := range []struct {
+			suffix string
+			want   uint64
+		}{
+			{"instructions", ctr.Instructions},
+			{"mem_ops", ctr.MemOps},
+			{"l1_accesses", ctr.L1Accesses},
+			{"l1_hits", ctr.L1Hits},
+			{"detector_stalls", ctr.DetectorStalls},
+		} {
+			name := smName(i, c.suffix)
+			if sums[name] != c.want {
+				t.Errorf("metric %s: sampled sum %d, device total %d", name, sums[name], c.want)
+			}
+		}
+	}
+}
+
+func smName(i int, suffix string) string {
+	return fmt.Sprintf("sm%d.%s", i, suffix)
+}
+
+// TestSamplerCyclesAligned: every emission except the flushed tail lands
+// on a multiple of the interval, and cycles are non-decreasing.
+func TestSamplerCyclesAligned(t *testing.T) {
+	d, series := sampledRun(t, 200)
+	last := uint64(0)
+	for _, smp := range series.Samples {
+		if smp.Cycle < last {
+			t.Fatalf("cycle went backwards: %d after %d", smp.Cycle, last)
+		}
+		last = smp.Cycle
+		if smp.Cycle%200 != 0 && smp.Cycle != d.Cycles() {
+			t.Fatalf("off-boundary sample at cycle %d (interval 200, end %d)", smp.Cycle, d.Cycles())
+		}
+	}
+}
+
+// TestSamplerDeterministic: two identical runs serialize to identical
+// bytes — the sampler adds no hidden state to the simulation's output.
+func TestSamplerDeterministic(t *testing.T) {
+	render := func() string {
+		_, series := sampledRun(t, 150)
+		c := NewCollector()
+		*c.Series("test") = *series
+		var sb strings.Builder
+		if err := c.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("identical runs produced different sampled CSV")
+	}
+}
+
+// TestSamplerFastPathAllocationFree: a tick inside the current interval —
+// the case every serviced request hits — performs zero allocations.
+func TestSamplerFastPathAllocationFree(t *testing.T) {
+	d, err := gpu.New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(d, 1<<40, &Series{Label: "idle"})
+	cycle := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		cycle++
+		s.Tick(cycle)
+	}); allocs != 0 {
+		t.Fatalf("fast-path Tick allocates %v times per call", allocs)
+	}
+}
+
+// TestSamplerFlushIdempotent: flushing twice at the same cycle emits the
+// tail once.
+func TestSamplerFlushIdempotent(t *testing.T) {
+	d, err := gpu.New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := &Series{Label: "x"}
+	s := NewSampler(d, 1000, series)
+	s.Tick(50)
+	s.Flush(60)
+	n := len(series.Samples)
+	if n == 0 {
+		t.Fatal("flush emitted nothing")
+	}
+	s.Flush(60)
+	if len(series.Samples) != n {
+		t.Fatalf("second flush re-emitted: %d -> %d samples", n, len(series.Samples))
+	}
+}

@@ -1,0 +1,127 @@
+// Package obs is the simulator's observability layer: cycle-domain metric
+// sampling, run-level telemetry for the evaluation harness, and trace
+// export in Chrome/Perfetto trace_event form.
+//
+// The package obeys the two-clock rule the rest of the simulator is built
+// on: everything that can reach a result file is a pure function of the
+// simulated clock (engine cycles), and wall-clock time never appears in
+// this package at all. Live telemetry (job progress, worker utilization)
+// reads atomic gauges that the simulation publishes; the HTTP side only
+// ever observes, never steers.
+//
+// Every observer is detached by default. A device with no probe and no
+// cycle watch pays two predictable nil-checks per serviced request and
+// zero allocations — the benchmark in the repository root pins this.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Sample is one metric observation in the simulated-cycle domain. Value is
+// the delta of the counter over the sample interval ending at Cycle, not a
+// cumulative total, so plotting Value against Cycle directly yields rates.
+type Sample struct {
+	Cycle  uint64 `json:"cycle"`
+	Metric string `json:"metric"`
+	Value  uint64 `json:"value"`
+}
+
+// Series is the ordered sample stream of one job (one labelled simulation).
+// A Series has a single writer — the goroutine running that simulation —
+// and is read only after the run completes, so it needs no lock.
+type Series struct {
+	Label   string   `json:"label"`
+	Samples []Sample `json:"samples"`
+}
+
+// Append records one observation. Samples must be appended in
+// non-decreasing cycle order; the sampler guarantees this by construction.
+func (s *Series) Append(cycle uint64, metric string, value uint64) {
+	s.Samples = append(s.Samples, Sample{Cycle: cycle, Metric: metric, Value: value})
+}
+
+// Collector aggregates the per-job series of one harness run. Jobs obtain
+// their Series up front (or from worker goroutines — the map is locked)
+// and then write to it privately; serialization orders by label, so the
+// bytes written are independent of worker count and interleaving.
+type Collector struct {
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{series: map[string]*Series{}}
+}
+
+// Series returns the series for label, creating it on first use. Each
+// label must belong to exactly one job; the returned Series is not safe
+// for concurrent writers.
+func (c *Collector) Series(label string) *Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.series[label]
+	if !ok {
+		s = &Series{Label: label}
+		c.series[label] = s
+	}
+	return s
+}
+
+// Labels returns the registered labels in sorted order.
+func (c *Collector) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.series))
+	for l := range c.series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// snapshot returns the series sorted by label.
+func (c *Collector) snapshot() []*Series {
+	labels := c.Labels()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Series, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, c.series[l])
+	}
+	return out
+}
+
+// WriteCSV renders every series in long form — label,cycle,metric,value —
+// sorted by label and, within a label, in recording (cycle) order. The
+// output is byte-identical for identical simulations regardless of how
+// many harness workers produced them.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,cycle,metric,value"); err != nil {
+		return err
+	}
+	for _, s := range c.snapshot() {
+		for _, smp := range s.Samples {
+			if _, err := fmt.Fprintf(w, "%s,%d,%s,%d\n", s.Label, smp.Cycle, smp.Metric, smp.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the same content as WriteCSV as a single JSON document
+// {"series": [...]}, series sorted by label.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Series []*Series `json:"series"`
+	}{Series: c.snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCollectorOrderIndependent: serialization order is the sorted label
+// order, not insertion order — the property that makes parallel harness
+// runs byte-identical to sequential ones.
+func TestCollectorOrderIndependent(t *testing.T) {
+	mk := func(labels []string) string {
+		c := NewCollector()
+		for _, l := range labels {
+			s := c.Series(l)
+			cyc := uint64(100 * len(l)) // content depends only on the label
+			s.Append(cyc, "instructions", 7)
+			s.Append(cyc, "mem_ops", 3)
+		}
+		var sb strings.Builder
+		if err := c.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := mk([]string{"zeta", "alpha", "mid"})
+	b := mk([]string{"mid", "zeta", "alpha"})
+	if a != b {
+		t.Fatalf("CSV depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if lines[0] != "label,cycle,metric,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "alpha,") || !strings.HasPrefix(lines[len(lines)-1], "zeta,") {
+		t.Fatalf("rows not sorted by label:\n%s", a)
+	}
+}
+
+func TestCollectorSeriesReuse(t *testing.T) {
+	c := NewCollector()
+	if c.Series("x") != c.Series("x") {
+		t.Fatal("same label returned distinct series")
+	}
+	if got := c.Labels(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestCollectorJSONRoundTrip(t *testing.T) {
+	c := NewCollector()
+	s := c.Series("job-a")
+	s.Append(500, "l1_hits", 12)
+	s.Append(1000, "l1_hits", 9)
+	var sb strings.Builder
+	if err := c.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Series []Series `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Series) != 1 || doc.Series[0].Label != "job-a" || len(doc.Series[0].Samples) != 2 {
+		t.Fatalf("round trip lost data: %+v", doc)
+	}
+	if doc.Series[0].Samples[1] != (Sample{Cycle: 1000, Metric: "l1_hits", Value: 9}) {
+		t.Fatalf("sample mangled: %+v", doc.Series[0].Samples[1])
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTelemetryJobLifecycle(t *testing.T) {
+	tel := NewRunTelemetry()
+	tel.SetWorkers(4)
+	a := tel.JobQueued("job-a")
+	tel.JobQueued("job-b")
+	if total, running, done := tel.Counts(); total != 2 || running != 0 || done != 0 {
+		t.Fatalf("after queue: %d/%d/%d", total, running, done)
+	}
+	tel.JobStarted("job-a")
+	a.Cycles.Store(1234)
+	if _, running, _ := tel.Counts(); running != 1 {
+		t.Fatalf("running = %d", running)
+	}
+	// Double start and done for an unknown label are ignored.
+	tel.JobStarted("job-a")
+	tel.JobDone("nope")
+	tel.JobDone("job-a")
+	if total, running, done := tel.Counts(); total != 2 || running != 0 || done != 1 {
+		t.Fatalf("after done: %d/%d/%d", total, running, done)
+	}
+	snap := tel.Snap()
+	if len(snap.Jobs) != 2 || snap.Jobs[0].Label != "job-a" || snap.Jobs[1].Label != "job-b" {
+		t.Fatalf("snapshot jobs: %+v", snap.Jobs)
+	}
+	if snap.Jobs[0].State != "done" || snap.Jobs[0].SimCycles != 1234 || snap.Jobs[1].State != "queued" {
+		t.Fatalf("snapshot states: %+v", snap.Jobs)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	tel := NewRunTelemetry()
+	tel.SetWorkers(2)
+	tel.JobQueued("b").Cycles.Store(99)
+	tel.JobQueued("a")
+	tel.JobStarted("b")
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"scord_workers 2",
+		"scord_jobs_total 2",
+		"scord_jobs_running 1",
+		"scord_worker_utilization 0.5",
+		`scord_job_sim_cycles{job="b"} 99`,
+		`scord_job_state{job="a"} 0`,
+		`scord_job_state{job="b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: job "a" series precede job "b" series.
+	if strings.Index(out, `sim_cycles{job="a"}`) > strings.Index(out, `sim_cycles{job="b"}`) {
+		t.Fatalf("job series not sorted:\n%s", out)
+	}
+}
+
+// TestExpvarRepublish: publishing from two hubs in one process must not
+// panic (expvar.Publish panics on duplicates), and the latest hub wins.
+func TestExpvarRepublish(t *testing.T) {
+	old := NewRunTelemetry()
+	old.SetWorkers(1)
+	old.PublishExpvar()
+	cur := NewRunTelemetry()
+	cur.SetWorkers(7)
+	cur.PublishExpvar()
+	snap := expvarCurrent.Load().Snap()
+	if snap.Workers != 7 {
+		t.Fatalf("expvar reads stale hub: workers = %d", snap.Workers)
+	}
+}
+
+// TestServerEndpoints: the telemetry server answers Prometheus, expvar,
+// and pprof requests while a run is in flight.
+func TestServerEndpoints(t *testing.T) {
+	tel := NewRunTelemetry()
+	tel.SetWorkers(3)
+	tel.JobQueued("live-job")
+	tel.JobStarted("live-job")
+	srv, err := StartServer("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d err %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, `scord_job_state{job="live-job"} 1`) {
+		t.Fatalf("/metrics missing live job:\n%s", out)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["scord"], &snap); err != nil || snap.Workers != 3 {
+		t.Fatalf("expvar scord = %s (err %v)", vars["scord"], err)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Fatalf("pprof index unexpected:\n%.200s", out)
+	}
+}

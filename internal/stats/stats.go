@@ -83,6 +83,76 @@ func (s *Stats) Add(o *Stats) {
 	s.DivergentAccesses += o.DivergentAccesses
 }
 
+// Sub returns the field-wise difference s - o. Every field is a monotone
+// counter, so with o an earlier snapshot of the same run the result is the
+// activity that happened in between — the primitive behind per-kernel
+// breakdowns (gpu.KernelRun) and the cycle-domain sampler in internal/obs.
+func (s *Stats) Sub(o *Stats) Stats {
+	return Stats{
+		Cycles:            s.Cycles - o.Cycles,
+		Instructions:      s.Instructions - o.Instructions,
+		MemOps:            s.MemOps - o.MemOps,
+		Atomics:           s.Atomics - o.Atomics,
+		Fences:            s.Fences - o.Fences,
+		Barriers:          s.Barriers - o.Barriers,
+		L1Accesses:        s.L1Accesses - o.L1Accesses,
+		L1Hits:            s.L1Hits - o.L1Hits,
+		L2DataAccesses:    s.L2DataAccesses - o.L2DataAccesses,
+		L2DataMisses:      s.L2DataMisses - o.L2DataMisses,
+		L2MetaAccesses:    s.L2MetaAccesses - o.L2MetaAccesses,
+		L2MetaMisses:      s.L2MetaMisses - o.L2MetaMisses,
+		DRAMDataAccesses:  s.DRAMDataAccesses - o.DRAMDataAccesses,
+		DRAMMetaAccesses:  s.DRAMMetaAccesses - o.DRAMMetaAccesses,
+		NOCFlits:          s.NOCFlits - o.NOCFlits,
+		NOCExtraFlits:     s.NOCExtraFlits - o.NOCExtraFlits,
+		DetectorChecks:    s.DetectorChecks - o.DetectorChecks,
+		DetectorPrelimOK:  s.DetectorPrelimOK - o.DetectorPrelimOK,
+		DetectorStalls:    s.DetectorStalls - o.DetectorStalls,
+		MetaCacheEvicts:   s.MetaCacheEvicts - o.MetaCacheEvicts,
+		RacesReported:     s.RacesReported - o.RacesReported,
+		ReleaseObserved:   s.ReleaseObserved - o.ReleaseObserved,
+		DivergentAccesses: s.DivergentAccesses - o.DivergentAccesses,
+	}
+}
+
+// Fields returns every counter as (name, value) pairs in struct order —
+// the canonical, deterministic enumeration used by CSV and Prometheus
+// serialization so a new counter cannot be silently dropped from one
+// output format.
+func (s *Stats) Fields() []Field {
+	return []Field{
+		{"cycles", s.Cycles},
+		{"instructions", s.Instructions},
+		{"mem_ops", s.MemOps},
+		{"atomics", s.Atomics},
+		{"fences", s.Fences},
+		{"barriers", s.Barriers},
+		{"l1_accesses", s.L1Accesses},
+		{"l1_hits", s.L1Hits},
+		{"l2_data_accesses", s.L2DataAccesses},
+		{"l2_data_misses", s.L2DataMisses},
+		{"l2_meta_accesses", s.L2MetaAccesses},
+		{"l2_meta_misses", s.L2MetaMisses},
+		{"dram_data_accesses", s.DRAMDataAccesses},
+		{"dram_meta_accesses", s.DRAMMetaAccesses},
+		{"noc_flits", s.NOCFlits},
+		{"noc_extra_flits", s.NOCExtraFlits},
+		{"detector_checks", s.DetectorChecks},
+		{"detector_prelim_ok", s.DetectorPrelimOK},
+		{"detector_stalls", s.DetectorStalls},
+		{"meta_cache_evicts", s.MetaCacheEvicts},
+		{"races_reported", s.RacesReported},
+		{"release_observed", s.ReleaseObserved},
+		{"divergent_accesses", s.DivergentAccesses},
+	}
+}
+
+// Field is one named counter value from Fields.
+type Field struct {
+	Name  string
+	Value uint64
+}
+
 // String renders a compact human-readable summary.
 func (s *Stats) String() string {
 	return fmt.Sprintf(

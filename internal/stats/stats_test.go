@@ -1,6 +1,10 @@
 package stats
 
-import "testing"
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
 
 func TestAddAccumulatesEveryField(t *testing.T) {
 	a := Stats{
@@ -20,6 +24,70 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 	}
 	if b.DRAMAccesses() != 2*(13+14) {
 		t.Fatalf("DRAMAccesses = %d", b.DRAMAccesses())
+	}
+}
+
+// fill sets every uint64 field of a Stats to a distinct pseudo-random
+// value via reflection, so a counter added to the struct is exercised
+// without touching this test.
+func fill(rng *rand.Rand) Stats {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(rng.Intn(1 << 20)))
+	}
+	return s
+}
+
+// TestSubInvertsAddEveryField: Sub is the exact inverse of Add on every
+// field. Checked by reflection over the struct, so adding a counter to
+// Stats without extending Add or Sub fails here instead of silently
+// corrupting per-kernel deltas and sampled series.
+func TestSubInvertsAddEveryField(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 32; trial++ {
+		before, delta := fill(rng), fill(rng)
+		after := before
+		after.Add(&delta)
+		got := after.Sub(&before)
+		gv, dv := reflect.ValueOf(got), reflect.ValueOf(delta)
+		for i := 0; i < gv.NumField(); i++ {
+			if gv.Field(i).Uint() != dv.Field(i).Uint() {
+				t.Fatalf("field %s: Sub(Add(x)) = %d, want %d — Add or Sub is missing the field",
+					gv.Type().Field(i).Name, gv.Field(i).Uint(), dv.Field(i).Uint())
+			}
+		}
+	}
+}
+
+// TestSubOfSelfIsZero: s.Sub(s) is the zero value, field by field.
+func TestSubOfSelfIsZero(t *testing.T) {
+	s := fill(rand.New(rand.NewSource(3)))
+	if d := s.Sub(&s); d != (Stats{}) {
+		t.Fatalf("s.Sub(s) = %+v, want zero", d)
+	}
+}
+
+// TestFieldsCoverEveryCounter: Fields enumerates exactly one entry per
+// struct field, in struct order, with matching values and unique names —
+// the property the CSV/Prometheus serializers in internal/obs rely on.
+func TestFieldsCoverEveryCounter(t *testing.T) {
+	s := fill(rand.New(rand.NewSource(11)))
+	fs := s.Fields()
+	v := reflect.ValueOf(s)
+	if len(fs) != v.NumField() {
+		t.Fatalf("Fields() has %d entries, struct has %d fields", len(fs), v.NumField())
+	}
+	seen := map[string]bool{}
+	for i, f := range fs {
+		if f.Name == "" || seen[f.Name] {
+			t.Fatalf("entry %d: empty or duplicate metric name %q", i, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Value != v.Field(i).Uint() {
+			t.Fatalf("entry %d (%s) = %d, want struct field %s = %d",
+				i, f.Name, f.Value, v.Type().Field(i).Name, v.Field(i).Uint())
+		}
 	}
 }
 

@@ -29,6 +29,13 @@ const (
 	EvRace
 	// EvKernel marks a kernel launch boundary.
 	EvKernel
+	// EvKernelEnd marks the completion of the kernel opened by the
+	// matching EvKernel; together they delimit a kernel span.
+	EvKernelEnd
+	// EvBarrierWait marks a warp parking at a block barrier. The interval
+	// from a warp's EvBarrierWait to its block's next EvBarrier release is
+	// the warp's barrier-wait span.
+	EvBarrierWait
 )
 
 func (k Kind) String() string {
@@ -47,6 +54,10 @@ func (k Kind) String() string {
 		return "RACE"
 	case EvKernel:
 		return "kernel"
+	case EvKernelEnd:
+		return "kernel-end"
+	case EvBarrierWait:
+		return "barrier-wait"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -81,9 +81,95 @@ func TestReset(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := EvLoad; k <= EvKernel; k++ {
-		if k.String() == "" {
-			t.Fatalf("kind %d has empty string", k)
+	for k := EvLoad; k <= EvBarrierWait; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d stringifies as %q", k, s)
 		}
+	}
+	if s := Kind(250).String(); !strings.HasPrefix(s, "Kind(") {
+		t.Fatalf("unknown kind stringifies as %q", s)
+	}
+}
+
+// TestWrapAtExactCapacity: filling the ring to exactly its capacity (no
+// wrap) and then one past it must keep the newest events with no
+// duplicates, and the wrapped flag must not corrupt the dump when the
+// ring is full but the oldest slot is next.
+func TestWrapAtExactCapacity(t *testing.T) {
+	const capacity = 4
+	tr := New(capacity)
+	for i := 1; i <= capacity; i++ {
+		tr.Record(Event{Cycle: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != capacity || evs[0].Cycle != 1 || evs[capacity-1].Cycle != capacity {
+		t.Fatalf("at capacity: %v", evs)
+	}
+	// One more evicts exactly the oldest.
+	tr.Record(Event{Cycle: capacity + 1})
+	evs = tr.Events()
+	if len(evs) != capacity || evs[0].Cycle != 2 || evs[capacity-1].Cycle != capacity+1 {
+		t.Fatalf("one past capacity: %v", evs)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range evs {
+		if seen[e.Cycle] {
+			t.Fatalf("duplicate cycle %d in %v", e.Cycle, evs)
+		}
+		seen[e.Cycle] = true
+	}
+}
+
+// TestWrapChronologyWithTies: after many wraps, events that share a cycle
+// stay in recording order (stable sort), and the dump is chronological —
+// the contract the Perfetto exporter's span pairing depends on.
+func TestWrapChronologyWithTies(t *testing.T) {
+	tr := New(6)
+	// Record 3 rounds of (cycle, warp) with cycle ties inside each round;
+	// only the last 6 events survive.
+	for round := 0; round < 3; round++ {
+		for w := 0; w < 4; w++ {
+			tr.Record(Event{Cycle: uint64(round), Warp: w})
+		}
+	}
+	evs := tr.Events()
+	if len(evs) != 6 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Survivors: the last 2 of round 1 (warps 2,3) then all of round 2.
+	want := []struct {
+		cycle uint64
+		warp  int
+	}{{1, 2}, {1, 3}, {2, 0}, {2, 1}, {2, 2}, {2, 3}}
+	for i, w := range want {
+		if evs[i].Cycle != w.cycle || evs[i].Warp != w.warp {
+			t.Fatalf("event %d = (cycle %d, warp %d), want (%d, %d)",
+				i, evs[i].Cycle, evs[i].Warp, w.cycle, w.warp)
+		}
+	}
+}
+
+// TestSpanEventKinds: the span kinds added for the Perfetto exporter
+// round-trip through the ring and render with their addresses suppressed
+// (spans carry no data address).
+func TestSpanEventKinds(t *testing.T) {
+	tr := New(8)
+	tr.Record(Event{Cycle: 0, Kind: EvKernel, Info: "mm.mult"})
+	tr.Record(Event{Cycle: 5, Kind: EvBarrierWait, Block: 1, Warp: 3})
+	tr.Record(Event{Cycle: 9, Kind: EvBarrier, Block: 1, Info: "id=1 warps=2"})
+	tr.Record(Event{Cycle: 20, Kind: EvKernelEnd, Info: "mm.mult"})
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"kernel", "barrier-wait", "kernel-end", "mm.mult"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	evs := tr.Events()
+	if evs[0].Kind != EvKernel || evs[3].Kind != EvKernelEnd {
+		t.Fatalf("span kinds did not survive the ring: %v", evs)
 	}
 }
