@@ -9,16 +9,20 @@
 package scord_test
 
 import (
+	"bytes"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"scord/internal/config"
 	"scord/internal/gpu"
 	"scord/internal/harness"
 	"scord/internal/mem"
 	"scord/internal/obs"
+	"scord/internal/replay"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
+	"scord/internal/tracefile"
 )
 
 func opts() harness.Options { return harness.Options{} }
@@ -276,6 +280,89 @@ func BenchmarkObsOverhead(b *testing.B) {
 				return func(uint64) {}
 			})
 		}
+	})
+}
+
+// BenchmarkReplayVsSim compares one full timing simulation of an
+// application against replaying its recorded memory-op trace through the
+// same detector. Both sub-benchmarks produce the identical race set and
+// detector counters; the replay must be at least an order of magnitude
+// faster (the acceptance gate for the record/replay subsystem), and the
+// speedup factor is reported as a custom metric on the replay run.
+func BenchmarkReplayVsSim(b *testing.B) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	bench := func() scor.Benchmark { return scor.NewGCOL() }
+
+	runSim := func(b *testing.B) time.Duration {
+		start := time.Now()
+		d, err := gpu.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench().Run(d, nil); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Record once; replay iterations reuse the decoded op sequence, which
+	// is exactly the record-once-replay-many shape the subsystem exists for.
+	var buf bytes.Buffer
+	tw, err := tracefile.NewWriter(&buf, tracefile.NewHeader(bench().Name(), nil, cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := gpu.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SetOpSink(tw)
+	if err := bench().Run(d, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops, err := replay.ReadAll(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	runReplay := func(b *testing.B) time.Duration {
+		start := time.Now()
+		sc, err := replay.NewScoRD(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := replay.RunOps(tr.Header(), ops, sc); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	var simTotal, replayTotal time.Duration
+	var simN, replayN int
+	b.Run("sim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simTotal += runSim(b)
+			simN++
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayTotal += runReplay(b)
+			replayN++
+		}
+		if simN > 0 && replayTotal > 0 {
+			speedup := (simTotal.Seconds() / float64(simN)) /
+				(replayTotal.Seconds() / float64(replayN))
+			b.ReportMetric(speedup, "sim/replay-speedup")
+		}
+		b.ReportMetric(float64(len(ops)), "trace-ops")
 	})
 }
 

@@ -1,0 +1,352 @@
+// Command scord-replay records and replays scoped memory-op traces. A
+// trace captures the exact access stream a live simulation feeds the
+// race detector; replaying it through any detector model reproduces the
+// live run's races and detector counters bit-for-bit without
+// re-simulating SMs, caches or DRAM — orders of magnitude faster.
+//
+// Usage:
+//
+//	scord-replay record -bench GCOL -inject own-atomic -o gcol.sctr
+//	scord-replay dump gcol.sctr
+//	scord-replay dump -ops 20 gcol.sctr
+//	scord-replay replay gcol.sctr
+//	scord-replay replay -detector all gcol.sctr
+//	scord-replay replay -perturb 500 -perturb-seed 7 gcol.sctr
+//	scord-replay table8 -dir traces/
+//
+// The replay subcommand's -perturb mode applies bounded, seeded
+// reorderings of concurrent accesses to the decoded stream before
+// detection, hunting schedule-dependent races the one recorded schedule
+// happened not to expose. Races found this way are candidates under some
+// warp schedule, not certainties; the test suite cross-checks them
+// against the static predictor's tuple set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"runtime"
+	"strings"
+
+	"scord/internal/config"
+	"scord/internal/harness"
+	"scord/internal/replay"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+	"scord/internal/tracefile"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `scord-replay <command> [flags]
+
+commands:
+  record   run one benchmark live and write its memory-op trace
+  dump     print a trace's header and ops in human-readable form
+  replay   run detector models over a recorded trace
+  table8   record the micro corpus and regenerate Table VIII from it
+
+run 'scord-replay <command> -h' for the command's flags
+`)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "record":
+		return runRecord(args[1:], stdout, stderr)
+	case "dump":
+		return runDump(args[1:], stdout, stderr)
+	case "replay":
+		return runReplay(args[1:], stdout, stderr)
+	case "table8":
+		return runTable8(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	}
+	fmt.Fprintf(stderr, "scord-replay: unknown command %q\n", args[0])
+	usage(stderr)
+	return 2
+}
+
+func allBenchmarks() []scor.Benchmark {
+	return append(scor.Apps(), micro.Benchmarks()...)
+}
+
+func parseMode(s string) (config.DetectorMode, error) {
+	switch s {
+	case "off":
+		return config.ModeOff, nil
+	case "base":
+		return config.ModeFull4B, nil
+	case "scord":
+		return config.ModeCached, nil
+	case "gran8":
+		return config.ModeGran8B, nil
+	case "gran16":
+		return config.ModeGran16B, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (off|base|scord|gran8|gran16)", s)
+}
+
+func runRecord(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord-replay record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benchName = fs.String("bench", "", "benchmark to record (same names as scord -list)")
+		mode      = fs.String("mode", "base", "detector mode recorded in the trace config: off|base|scord|gran8|gran16")
+		inject    = fs.String("inject", "", "comma-separated race injections ('all' for every one)")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		scale     = fs.Int("scale", 1, "multiply the benchmark's input size (device memory scales too)")
+		out       = fs.String("o", "", "output trace file (default <bench>.sctr)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	if *benchName == "" {
+		fmt.Fprintln(stderr, "scord-replay record: -bench required")
+		return 2
+	}
+	var bench scor.Benchmark
+	for _, b := range allBenchmarks() {
+		if strings.EqualFold(b.Name(), *benchName) {
+			bench = b
+			break
+		}
+	}
+	if bench == nil {
+		fmt.Fprintf(stderr, "scord-replay record: unknown benchmark %q\n", *benchName)
+		return 2
+	}
+	dm, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "scord-replay record:", err)
+		return 2
+	}
+	var active []string
+	switch *inject {
+	case "":
+	case "all":
+		active = bench.Injections()
+	default:
+		active = strings.Split(*inject, ",")
+	}
+	if err := scor.Scale(bench, *scale); err != nil {
+		fmt.Fprintln(stderr, "scord-replay record:", err)
+		return 2
+	}
+	cfg := config.Default()
+	cfg.Seed = *seed
+	cfg.DeviceMemBytes *= *scale
+
+	path := *out
+	if path == "" {
+		path = bench.Name() + harness.TraceExt
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logger.Error("creating trace file", "err", err)
+		return 1
+	}
+	opt := harness.Options{Jobs: 1}
+	if err := harness.RecordBenchmark(opt, cfg, "record/"+bench.Name(), bench, dm, active, f); err != nil {
+		f.Close()
+		os.Remove(path)
+		logger.Error("recording failed", "benchmark", bench.Name(), "err", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		logger.Error("closing trace file", "err", err)
+		return 1
+	}
+	fi, _ := os.Stat(path)
+	fmt.Fprintf(stdout, "recorded %s [%v/%v] to %s (%d bytes)\n",
+		bench.Name(), dm, active, path, fi.Size())
+	return 0
+}
+
+func openTrace(fs *flag.FlagSet, cmd string, stderr io.Writer) (*os.File, *tracefile.Reader, int) {
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "scord-replay %s: exactly one trace file argument required\n", cmd)
+		return nil, nil, 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "scord-replay %s: %v\n", cmd, err)
+		return nil, nil, 1
+	}
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		f.Close()
+		fmt.Fprintf(stderr, "scord-replay %s: %v\n", cmd, err)
+		return nil, nil, 1
+	}
+	return f, r, 0
+}
+
+func printHeader(w io.Writer, h tracefile.Header) {
+	fmt.Fprintf(w, "format     v%d\n", h.Version)
+	fmt.Fprintf(w, "benchmark  %s\n", h.Benchmark)
+	fmt.Fprintf(w, "injections %v\n", h.Injections)
+	fmt.Fprintf(w, "seed       %d\n", h.Seed)
+	fmt.Fprintf(w, "detector   %v\n", h.Config.Detector.Mode)
+	fmt.Fprintf(w, "confighash %016x\n", h.ConfigHash)
+}
+
+func runDump(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord-replay dump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxOps := fs.Int("ops", 0, "print at most N ops (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, r, code := openTrace(fs, "dump", stderr)
+	if code != 0 {
+		return code
+	}
+	defer f.Close()
+	printHeader(stdout, r.Header())
+	fmt.Fprintln(stdout)
+	printed, total := 0, 0
+	for {
+		op, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "scord-replay dump: op %d: %v\n", total, err)
+			return 1
+		}
+		total++
+		if *maxOps == 0 || printed < *maxOps {
+			fmt.Fprintln(stdout, op.String())
+			printed++
+		}
+	}
+	if printed < total {
+		fmt.Fprintf(stdout, "... %d more ops\n", total-printed)
+	}
+	fmt.Fprintf(stdout, "\n%d ops total\n", total)
+	return 0
+}
+
+func runReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord-replay replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		detector    = fs.String("detector", "scord", "detector model: "+strings.Join(replay.TargetNames(), "|")+"|all")
+		mode        = fs.String("mode", "", "override the trace's detector mode for the scord target: off|base|scord|gran8|gran16")
+		perturb     = fs.Int("perturb", 0, "apply N bounded random reorderings of concurrent accesses before detection")
+		perturbSeed = fs.Int64("perturb-seed", 1, "perturbation seed (with -perturb)")
+		perturbDist = fs.Int("perturb-dist", 8, "max adjacent swaps one perturbation may travel (with -perturb)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, r, code := openTrace(fs, "replay", stderr)
+	if code != 0 {
+		return code
+	}
+	defer f.Close()
+
+	names := []string{*detector}
+	if *detector == "all" {
+		names = replay.TargetNames()
+	}
+	cfg := r.Header().Config
+	if *mode != "" {
+		dm, err := parseMode(*mode)
+		if err != nil {
+			fmt.Fprintln(stderr, "scord-replay replay:", err)
+			return 2
+		}
+		cfg = cfg.WithDetector(dm)
+	}
+
+	printHeader(stdout, r.Header())
+	if *perturb > 0 {
+		fmt.Fprintf(stdout, "perturb    %d swaps, dist %d, seed %d\n", *perturb, *perturbDist, *perturbSeed)
+	}
+
+	// Streaming replay suffices for a single unperturbed target; any
+	// perturbation or multi-target run decodes the trace once up front.
+	var ops []tracefile.Op
+	if *perturb > 0 || len(names) > 1 {
+		var err error
+		ops, err = replay.ReadAll(r)
+		if err != nil {
+			fmt.Fprintln(stderr, "scord-replay replay:", err)
+			return 1
+		}
+		if *perturb > 0 {
+			ops = replay.Perturb(ops, *perturb, *perturbDist, *perturbSeed)
+		}
+	}
+
+	for _, name := range names {
+		t, err := replay.TargetByName(name, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "scord-replay replay:", err)
+			return 2
+		}
+		var res *replay.Result
+		if ops != nil {
+			res, err = replay.RunOps(r.Header(), ops, t)
+		} else {
+			res, err = replay.Run(r, t)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "scord-replay replay: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\n[%s] %d ops (%d accesses, %d kernels): %d unique race(s)\n",
+			res.Detector, res.Ops, res.Accesses, res.Kernels, len(res.Races))
+		for _, rec := range res.Races {
+			fmt.Fprintln(stdout, "  ", res.DescribeRecord(rec))
+		}
+		if res.Detector == "ScoRD" {
+			c := res.Counters
+			fmt.Fprintf(stdout, "  checks %d (%d trivially race-free), evicts %d, releases %d, divergent %d\n",
+				c.DetectorChecks, c.DetectorPrelimOK, c.MetaCacheEvicts,
+				c.ReleaseObserved, c.DivergentAccesses)
+			if res.Overflowed > 0 {
+				fmt.Fprintf(stdout, "  %d distinct race(s) dropped after the record cap\n", res.Overflowed)
+			}
+		}
+	}
+	return 0
+}
+
+func runTable8(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord-replay table8", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir  = fs.String("dir", "", "directory for the recorded micro corpus (default: a temp dir, removed afterwards)")
+		jobs = fs.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any value)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "scord-replay table8: -jobs must be >= 1, got %d\n", *jobs)
+		return 2
+	}
+	t8, err := harness.RunTable8RecordReplay(harness.Options{Jobs: *jobs}, *dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "scord-replay table8:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, t8.Render())
+	return 0
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoCommandShowsUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "record") || !strings.Contains(errOut.String(), "replay") {
+		t.Errorf("usage missing commands:\n%s", errOut.String())
+	}
+}
+
+func TestUnknownCommandRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"frobnicate"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown command "frobnicate"`) {
+		t.Fatalf("stderr %q missing diagnostic", errOut.String())
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown benchmark "nope"`) {
+		t.Fatalf("stderr %q missing diagnostic", errOut.String())
+	}
+}
+
+// TestRecordDumpReplayRoundTrip drives the whole CLI surface on one racey
+// microbenchmark: record a trace, dump it, replay it through every
+// detector model, and replay a perturbed variant — all through run(), the
+// same path main() takes.
+func TestRecordDumpReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "recorded fence.racey.cross-none") {
+		t.Errorf("record output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"dump", "-ops", "8", path}, &out, &errOut); code != 0 {
+		t.Fatalf("dump: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	dump := out.String()
+	for _, want := range []string{"benchmark  fence.racey.cross-none", "alloc", "kernel", "ops total"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump output missing %q:\n%s", want, dump)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"replay", "-detector", "all", path}, &out, &errOut); code != 0 {
+		t.Fatalf("replay: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	rep := out.String()
+	for _, det := range []string{"[ScoRD]", "[LDetector]", "[HAccRG]", "[Barracuda]", "[CURD]"} {
+		if !strings.Contains(rep, det) {
+			t.Errorf("replay output missing %s:\n%s", det, rep)
+		}
+	}
+	if !strings.Contains(rep, "missing-device-fence race") {
+		t.Errorf("replay did not reproduce the recorded race:\n%s", rep)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"replay", "-perturb", "10", "-perturb-seed", "3", path}, &out, &errOut); code != 0 {
+		t.Fatalf("perturbed replay: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "perturb    10 swaps") {
+		t.Errorf("perturbed replay output missing perturb banner:\n%s", out.String())
+	}
+}
+
+func TestReplayModeOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-mode", "off", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	// A trace recorded with detection off still replays under any mode.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"replay", "-detector", "scord", "-mode", "scord", path}, &out, &errOut); code != 0 {
+		t.Fatalf("replay -mode scord: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "missing-device-fence race") {
+		t.Errorf("mode-overridden replay missed the race:\n%s", out.String())
+	}
+	// Without the override the scord target has no mode to run under.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"replay", "-detector", "scord", path}, &out, &errOut); code == 0 {
+		t.Fatal("replaying an off-mode trace without -mode unexpectedly succeeded")
+	}
+}
+
+func TestTable8Subcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records and replays the whole micro corpus")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"table8", "-jobs", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("table8: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"Table VIII", "ScoRD", "Barracuda"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table8 output missing %q:\n%s", want, out.String())
+		}
+	}
+}

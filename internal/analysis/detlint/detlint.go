@@ -56,6 +56,12 @@ var deterministicCore = map[string]bool{
 	// obeys the same contract: no wall-clock, no global rand, no
 	// map-order-dependent serialization.
 	"scord/internal/obs": true,
+	// Trace recording and replay are the determinism contract made
+	// inspectable: a recorded trace must be byte-identical across runs and
+	// a replay bit-identical to its live twin, so both packages live under
+	// the full set of invariants.
+	"scord/internal/tracefile": true,
+	"scord/internal/replay":    true,
 }
 
 func inDeterministicCore(pkgPath string) bool { return deterministicCore[pkgPath] }

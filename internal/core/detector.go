@@ -63,7 +63,10 @@ type Detector struct {
 	cfg   config.Detector
 	store *MetaStore
 	ff    FenceFile
-	locks map[int64]*LockTable
+	// locks is indexed densely by warpKey: the lock-table lookup sits on
+	// the per-access hot path, where a map lookup costs more than the
+	// whole Table III preliminary check.
+	locks []LockTable
 	s     *stats.Stats
 
 	records  []Record
@@ -84,7 +87,6 @@ func NewDetector(cfg config.Detector, totalWords int, metaBase uint64, s *stats.
 	return &Detector{
 		cfg:         cfg,
 		store:       NewMetaStore(cfg.Mode, totalWords, cfg.MetaCacheRatio, metaBase),
-		locks:       make(map[int64]*LockTable),
 		s:           s,
 		index:       make(map[recordKey]int),
 		releaseFile: make(map[int64]uint8),
@@ -97,13 +99,13 @@ func (d *Detector) Store() *MetaStore { return d.store }
 func warpKey(block, warp int) int64 { return int64(block)<<6 | int64(warp&63) }
 
 func (d *Detector) lockTable(block, warp int) *LockTable {
-	k := warpKey(block, warp)
-	t := d.locks[k]
-	if t == nil {
-		t = &LockTable{}
-		d.locks[k] = t
+	k := int(warpKey(block, warp))
+	if k >= len(d.locks) {
+		grown := make([]LockTable, k+64)
+		copy(grown, d.locks)
+		d.locks = grown
 	}
-	return t
+	return &d.locks[k]
 }
 
 // ResetForKernel clears all detection state at a kernel launch: metadata is
@@ -112,7 +114,7 @@ func (d *Detector) lockTable(block, warp int) *LockTable {
 func (d *Detector) ResetForKernel() {
 	d.store.Reset()
 	d.ff.Reset()
-	d.locks = make(map[int64]*LockTable)
+	clear(d.locks)
 	d.releaseCounter = 0
 	d.releaseFile = make(map[int64]uint8)
 }
@@ -188,7 +190,7 @@ func (d *Detector) CheckAccess(a Access) CheckResult {
 		// address. Detection is skipped (a potential false negative) and
 		// the entry is overwritten with the current access (Section IV-B).
 		d.s.MetaCacheEvicts++
-		d.store.Update(idx, d.freshEntry(a, tag, cur))
+		d.store.Update(idx, d.freshEntry(&a, tag, cur))
 		return res
 	}
 
@@ -198,7 +200,7 @@ func (d *Detector) CheckAccess(a Access) CheckResult {
 	if e.IsInit() {
 		// Table III (a): first access since (re-)initialization.
 		d.s.DetectorPrelimOK++
-		d.store.Update(idx, d.freshEntry(a, tag, cur))
+		d.store.Update(idx, d.freshEntry(&a, tag, cur))
 		return res
 	}
 
@@ -222,19 +224,19 @@ func (d *Detector) CheckAccess(a Access) CheckResult {
 		// respect to the recorded (last) access — intermediate readers
 		// were checked when they executed.
 	default:
-		if kind, ok := d.fullCheck(a, e, cur, sameBlock); ok {
-			d.report(kind, a, e, sameBlock)
+		if kind, ok := d.fullCheck(&a, e, cur, sameBlock); ok {
+			d.report(kind, &a, e, sameBlock)
 			res.Raced = true
 		}
 	}
 
-	d.store.Update(idx, d.updatedEntry(a, e, tag, cur))
+	d.store.Update(idx, d.updatedEntry(&a, e, tag, cur))
 	return res
 }
 
 // fullCheck applies Table IV once the preliminary checks have failed and
 // the accesses are by different warps.
-func (d *Detector) fullCheck(a Access, e Entry, cur Bloom, sameBlock bool) (RaceKind, bool) {
+func (d *Detector) fullCheck(a *Access, e Entry, cur Bloom, sameBlock bool) (RaceKind, bool) {
 	// Previous access was an atomic: atomics synchronize at their scope, so
 	// the only hazard is insufficient scope — Table IV (d).
 	if e.IsAtom() {
@@ -283,7 +285,7 @@ func (d *Detector) fullCheck(a Access, e Entry, cur Bloom, sameBlock bool) (Race
 
 // freshEntry builds the metadata written by the first access after
 // (re-)initialization or after a software-cache overwrite.
-func (d *Detector) freshEntry(a Access, tag uint8, cur Bloom) Entry {
+func (d *Detector) freshEntry(a *Access, tag uint8, cur Bloom) Entry {
 	var e Entry
 	e = e.WithTag(tag).
 		WithBlockID(a.Block & 127).
@@ -309,7 +311,7 @@ func (d *Detector) freshEntry(a Access, tag uint8, cur Bloom) Entry {
 // Modified, BlkShared, DevShared set) unreachable during execution: loads
 // clear Modified (they record "last access was a read") and stores clear
 // the shared flags (they describe sharing since the last write).
-func (d *Detector) updatedEntry(a Access, e Entry, tag uint8, cur Bloom) Entry {
+func (d *Detector) updatedEntry(a *Access, e Entry, tag uint8, cur Bloom) Entry {
 	if e.IsInit() {
 		return d.freshEntry(a, tag, cur)
 	}
@@ -347,7 +349,7 @@ func (d *Detector) updatedEntry(a Access, e Entry, tag uint8, cur Bloom) Entry {
 	return e
 }
 
-func (d *Detector) report(kind RaceKind, a Access, e Entry, sameBlock bool) {
+func (d *Detector) report(kind RaceKind, a *Access, e Entry, sameBlock bool) {
 	d.s.RacesReported++
 	groupAddr := uint64(d.store.GroupBase(int(a.Addr/4))) * 4
 	key := recordKey{kind: kind, addr: groupAddr, site: a.Site}

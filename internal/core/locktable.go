@@ -16,6 +16,11 @@ type lockEntry struct {
 type LockTable struct {
 	entries [4]lockEntry
 	next    int // circular insertion cursor
+
+	// sum caches the bloom of the active entries. Summary() runs once per
+	// memory access while the table mutates only on atomics and fences, so
+	// the mutators maintain the fold instead of recomputing it per access.
+	sum Bloom
 }
 
 // OnCAS records an atomicCAS on addr: a candidate lock acquisition. The
@@ -32,6 +37,7 @@ func (t *LockTable) OnCAS(addr uint64, scope Scope) {
 	}
 	t.entries[t.next] = lockEntry{hash: h, scope: scope, valid: true}
 	t.next = (t.next + 1) % len(t.entries)
+	t.recompute() // the overwritten slot may have been active
 }
 
 // OnFence activates the valid entries whose scope is matching or narrower
@@ -47,6 +53,7 @@ func (t *LockTable) OnFence(scope Scope) {
 			e.active = true
 		}
 	}
+	t.recompute()
 }
 
 // OnExch records an atomicExch on addr: a candidate lock release. The
@@ -58,6 +65,7 @@ func (t *LockTable) OnExch(addr uint64, scope Scope) {
 		if e.valid && e.hash == h && e.scope == scope {
 			e.valid = false
 			e.active = false
+			t.recompute()
 			return
 		}
 	}
@@ -65,7 +73,9 @@ func (t *LockTable) OnExch(addr uint64, scope Scope) {
 
 // Summary folds the active entries into the 16-bit bloom filter sent with
 // each memory request.
-func (t *LockTable) Summary() Bloom {
+func (t *LockTable) Summary() Bloom { return t.sum }
+
+func (t *LockTable) recompute() {
 	var b Bloom
 	for i := range t.entries {
 		e := &t.entries[i]
@@ -73,7 +83,7 @@ func (t *LockTable) Summary() Bloom {
 			b = bloomAdd(b, e.hash, e.scope)
 		}
 	}
-	return b
+	t.sum = b
 }
 
 // Held reports how many locks the warp actively holds (tests/debugging).

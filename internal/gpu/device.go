@@ -62,6 +62,10 @@ type Device struct {
 	// touching simulation state.
 	cycleWatch *atomic.Uint64
 
+	// sink, when attached, records the scoped memory-op stream in detector
+	// presentation order (trace record/replay, internal/tracefile).
+	sink OpSink
+
 	// State of the kernel currently executing.
 	kernel        Kernel
 	gridBlocks    int
@@ -157,7 +161,43 @@ func (d *Device) Mem() *mem.Memory { return d.mem }
 
 // Alloc reserves n 4-byte words of device memory under a name that race
 // reports will use.
-func (d *Device) Alloc(name string, n int) mem.Addr { return d.mem.AllocWords(name, n) }
+func (d *Device) Alloc(name string, n int) mem.Addr {
+	a := d.mem.AllocWords(name, n)
+	if d.sink != nil {
+		d.sink.Alloc(name, uint64(a), uint64(n)*4)
+	}
+	return a
+}
+
+// OpSink observes the scoped memory-op stream — the exact sequence of
+// accesses, fences, barrier releases and kernel boundaries the detector
+// is presented with, in presentation order. The stream is a pure function
+// of (config, seed, kernel), so recording it once (internal/tracefile)
+// lets internal/replay re-run any detector model without the timing
+// simulator. Like the tracer, probe and checkers, a sink is purely
+// observational: it must not mutate simulation state, and a detached
+// (nil) sink costs one predictable branch per op.
+type OpSink interface {
+	// KernelStart fires at each launch, after per-kernel detector state
+	// reset; KernelEnd after the final L1 flush.
+	KernelStart(name string, blocks, threads int, cycle uint64)
+	KernelEnd(name string, cycle uint64)
+	// Alloc records one named device-memory allocation (base address and
+	// size in bytes), in allocation order.
+	Alloc(name string, base, size uint64)
+	// Access records one lane-level access exactly as built for the
+	// detector, plus the atomic flavour and the access width in bytes.
+	Access(a core.Access, aop core.AtomicOp, size uint32)
+	// Fence records a scoped fence by one warp; fromBarrier marks the
+	// implicit block-scope fence each warp performs at a barrier release.
+	Fence(block, warp int, scope core.Scope, cycle uint64, fromBarrier bool)
+	// Barrier records a barrier release: the block's barrier ID advanced
+	// and warps warps resumed (the per-warp fences follow as Fence ops).
+	Barrier(block int, id uint8, warps int, cycle uint64)
+}
+
+// SetOpSink attaches the memory-op stream recorder (nil detaches it).
+func (d *Device) SetOpSink(s OpSink) { d.sink = s }
 
 // Stats returns the accumulated simulation statistics.
 func (d *Device) Stats() *stats.Stats { return &d.st }
@@ -282,6 +322,9 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, k Kernel) erro
 	if d.tracer != nil {
 		d.tracer.Record(trace.Event{Cycle: d.eng.Now(), Kind: trace.EvKernel, Info: name})
 	}
+	if d.sink != nil {
+		d.sink.KernelStart(name, blocks, threadsPerBlock, d.eng.Now())
+	}
 
 	before := d.st
 	launchStart := d.eng.Now()
@@ -314,6 +357,9 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, k Kernel) erro
 	d.st.Cycles = d.eng.Now()
 	if d.tracer != nil {
 		d.tracer.Record(trace.Event{Cycle: d.eng.Now(), Kind: trace.EvKernelEnd, Info: name})
+	}
+	if d.sink != nil {
+		d.sink.KernelEnd(name, d.eng.Now())
 	}
 	// Flush the sampler's final partial interval at the launch boundary so
 	// the tail of a kernel is never silently dropped from sampled series.

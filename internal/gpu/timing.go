@@ -66,6 +66,9 @@ func (d *Device) service(c *Ctx, r *request) {
 			d.tracer.Record(trace.Event{Cycle: now, Kind: trace.EvFence,
 				Block: c.Block, Warp: c.Warp, Info: r.scope.String()})
 		}
+		if d.sink != nil {
+			d.sink.Fence(c.Block, c.Warp, r.scope, now, false)
+		}
 		d.eng.At(now+lat, func() { d.resumeWarp(c) })
 
 	case reqBarrier:
@@ -122,6 +125,14 @@ func (d *Device) releaseBarrier(bs *blockState) {
 	if d.tracer != nil {
 		d.tracer.Record(trace.Event{Cycle: d.eng.Now(), Kind: trace.EvBarrier,
 			Block: bs.id, Info: fmt.Sprintf("id=%d warps=%d", bs.barrierID, len(warps))})
+	}
+	if d.sink != nil {
+		// The marker precedes the per-warp implicit fences, mirroring the
+		// calls the detector and checkers just received.
+		d.sink.Barrier(bs.id, bs.barrierID, len(warps), d.eng.Now())
+		for _, w := range warps {
+			d.sink.Fence(w.Block, w.Warp, ScopeBlock, d.eng.Now(), true)
+		}
 	}
 	at := d.eng.Now() + barrierLat
 	for _, w := range warps {
@@ -272,7 +283,7 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 				d.det.OnAtomicOp(c.Block, c.Warp, core.AtomicRelease, uint64(a), op.scope)
 			}
 			d.execWord(sm, op, i, a)
-			if !detOn && len(d.checkers) == 0 {
+			if !detOn && len(d.checkers) == 0 && d.sink == nil {
 				continue
 			}
 			access := core.Access{
@@ -287,6 +298,12 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 				Cycle:    issue,
 				Lane:     c.lane,
 				Diverged: c.diverged,
+			}
+			if d.sink != nil {
+				// One record per lane carries (Access, AtomicOp); the replay
+				// engine reconstructs the exact detector/checker call
+				// sequence from it, including the release-before-check rule.
+				d.sink.Access(access, op.atomicOp, 4)
 			}
 			if detOn {
 				res := d.det.CheckAccess(access)

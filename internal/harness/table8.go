@@ -8,6 +8,7 @@ import (
 	"scord/internal/core"
 	"scord/internal/detectors"
 	"scord/internal/gpu"
+	"scord/internal/mem"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 )
@@ -55,6 +56,75 @@ func classOf(m *micro.Micro) string {
 	return m.Class()
 }
 
+// table8Detectors is the row order of the capability matrix.
+var table8Detectors = []string{"LDetector", "HAccRG", "Barracuda", "CURD", "ScoRD"}
+
+// t8verdict is one detector's outcome on one microbenchmark: did it
+// catch every expected race, and did it report anything at all (the
+// false-positive signal on clean micros).
+type t8verdict struct{ caughtAll, anyRecords bool }
+
+// scoreRecords reduces one detector's race records on one micro to a
+// verdict against the micro's expected-race specs.
+func scoreRecords(m *mem.Memory, recs []core.Record, specs []scor.RaceSpec) t8verdict {
+	res := scor.MatchRecords(m, recs, specs)
+	return t8verdict{caughtAll: len(res.Missed) == 0, anyRecords: res.AllRecords > 0}
+}
+
+// assembleTable8 aggregates per-micro verdicts into the capability
+// matrix. It is shared by the live path (RunTable8) and the replay path
+// (RunTable8Replay), which must produce identical tables from identical
+// verdicts.
+func assembleTable8(micros []*micro.Micro, verdicts []map[string]t8verdict) *Table8 {
+	caught := map[string]map[string]*Capability{}
+	fps := map[string]int{}
+	for _, n := range table8Detectors {
+		caught[n] = map[string]*Capability{}
+	}
+	bump := func(det, class string, present, hit bool) {
+		c := caught[det][class]
+		if c == nil {
+			c = &Capability{}
+			caught[det][class] = c
+		}
+		if present {
+			c.Present++
+		}
+		if hit {
+			c.Caught++
+		}
+	}
+	for mi, m := range micros {
+		for _, det := range table8Detectors {
+			v := verdicts[mi][det]
+			if m.Racey() {
+				bump(det, classOf(m), true, v.caughtAll)
+			} else if v.anyRecords {
+				fps[det]++
+			}
+		}
+	}
+
+	out := &Table8{}
+	get := func(det, class string) Capability {
+		if c := caught[det][class]; c != nil {
+			return *c
+		}
+		return Capability{}
+	}
+	for _, n := range table8Detectors {
+		out.Rows = append(out.Rows, Table8Row{
+			Detector:       n,
+			Fences:         get(n, "fences"),
+			Locks:          get(n, "locks"),
+			ScopedFences:   get(n, "scoped-fences"),
+			ScopedAtomics:  get(n, "scoped-atomics"),
+			FalsePositives: fps[n],
+		})
+	}
+	return out
+}
+
 // RunTable8 runs every microbenchmark once with the four comparison models
 // attached as functional checkers and ScoRD as the real detector, then
 // scores each detector per race class. Each microbenchmark is one
@@ -62,12 +132,8 @@ func classOf(m *micro.Micro) string {
 // aggregated sequentially from the per-micro verdicts.
 func RunTable8(opt Options) (*Table8, error) {
 	cfg := opt.cfg()
-	names := []string{"LDetector", "HAccRG", "Barracuda", "CURD", "ScoRD"}
-
-	// verdicts[mi] maps detector name to (caught all specs, any records).
-	type verdict struct{ caughtAll, anyRecords bool }
 	micros := micro.All()
-	verdicts := make([]map[string]verdict, len(micros))
+	verdicts := make([]map[string]t8verdict, len(micros))
 	var sims []Sim
 	for mi, m := range micros {
 		mi := mi
@@ -90,15 +156,11 @@ func RunTable8(opt Options) (*Table8, error) {
 					return fmt.Errorf("micro %s: %w", m.Name(), err)
 				}
 				specs := m.ExpectedRaces(nil)
-				v := make(map[string]verdict, len(models)+1)
-				score := func(det string, recs []core.Record) {
-					res := scor.MatchRecords(d.Mem(), recs, specs)
-					v[det] = verdict{caughtAll: len(res.Missed) == 0, anyRecords: res.AllRecords > 0}
-				}
+				v := make(map[string]t8verdict, len(models)+1)
 				for _, mod := range models {
-					score(mod.Name(), mod.Records())
+					v[mod.Name()] = scoreRecords(d.Mem(), mod.Records(), specs)
 				}
-				score("ScoRD", d.Races())
+				v["ScoRD"] = scoreRecords(d.Mem(), d.Races(), specs)
 				verdicts[mi] = v
 				return nil
 			},
@@ -107,54 +169,7 @@ func RunTable8(opt Options) (*Table8, error) {
 	if err := runAll(opt, sims); err != nil {
 		return nil, err
 	}
-
-	caught := map[string]map[string]*Capability{}
-	fps := map[string]int{}
-	for _, n := range names {
-		caught[n] = map[string]*Capability{}
-	}
-	bump := func(det, class string, present, hit bool) {
-		c := caught[det][class]
-		if c == nil {
-			c = &Capability{}
-			caught[det][class] = c
-		}
-		if present {
-			c.Present++
-		}
-		if hit {
-			c.Caught++
-		}
-	}
-	for mi, m := range micros {
-		for _, det := range names {
-			v := verdicts[mi][det]
-			if m.Racey() {
-				bump(det, classOf(m), true, v.caughtAll)
-			} else if v.anyRecords {
-				fps[det]++
-			}
-		}
-	}
-
-	out := &Table8{}
-	get := func(det, class string) Capability {
-		if c := caught[det][class]; c != nil {
-			return *c
-		}
-		return Capability{}
-	}
-	for _, n := range names {
-		out.Rows = append(out.Rows, Table8Row{
-			Detector:       n,
-			Fences:         get(n, "fences"),
-			Locks:          get(n, "locks"),
-			ScopedFences:   get(n, "scoped-fences"),
-			ScopedAtomics:  get(n, "scoped-atomics"),
-			FalsePositives: fps[n],
-		})
-	}
-	return out, nil
+	return assembleTable8(micros, verdicts), nil
 }
 
 // Render formats the matrix like the paper's Table VIII.

@@ -1,0 +1,67 @@
+package replay
+
+import (
+	"math/rand"
+
+	"scord/internal/core"
+	"scord/internal/mem"
+	"scord/internal/tracefile"
+)
+
+// Perturb returns a copy of ops with up to swaps bounded, seeded
+// reorderings applied: each round picks a random access op and walks it
+// forward by up to maxDist adjacent swaps, stopping at the first illegal
+// exchange. The result is a plausible alternative interleaving of the
+// recorded execution, used to hunt schedule-dependent races that the one
+// recorded schedule happened not to expose.
+//
+// A swap is legal only between two access ops from different warps — so
+// program order within a warp is preserved and no op ever crosses a
+// fence, barrier, kernel boundary or allocation — and never between two
+// accesses of the same word when either is atomic (reordering a
+// synchronization access against its observer would fabricate an
+// interleaving the program's own synchronization forbids, not explore a
+// reachable one). Races found under perturbation are therefore
+// candidates under *some* warp schedule, not certainties; the
+// cross-check against the static predictor's tuple set (racepred) keeps
+// the hunt honest.
+//
+// Perturb is deterministic for a given (ops, swaps, maxDist, seed).
+func Perturb(ops []tracefile.Op, swaps, maxDist int, seed int64) []tracefile.Op {
+	out := make([]tracefile.Op, len(ops))
+	copy(out, ops)
+	if len(out) < 2 || swaps <= 0 || maxDist <= 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < swaps; s++ {
+		i := rng.Intn(len(out) - 1)
+		dist := 1 + rng.Intn(maxDist)
+		for k := 0; k < dist && i+1 < len(out); k++ {
+			if !swappable(out[i], out[i+1]) {
+				break
+			}
+			out[i], out[i+1] = out[i+1], out[i]
+			i++
+		}
+	}
+	return out
+}
+
+// swappable reports whether two adjacent ops may legally exchange places.
+func swappable(x, y tracefile.Op) bool {
+	if x.Kind != tracefile.OpAccess || y.Kind != tracefile.OpAccess {
+		return false
+	}
+	a, b := x.Access, y.Access
+	if a.Block == b.Block && a.Warp == b.Warp {
+		return false // program order within a warp is inviolable
+	}
+	sameWord := a.Addr/mem.WordBytes == b.Addr/mem.WordBytes
+	syncish := x.AtomicOp != core.AtomicOther || y.AtomicOp != core.AtomicOther ||
+		a.Kind == core.KindAtomic || b.Kind == core.KindAtomic
+	if sameWord && syncish {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package replay_test
+
+// raceEnabled reports that this test binary was built with -race. The
+// perturbation cross-check replays dozens of single-threaded simulations
+// and type-checks the benchmark packages; under the race detector that
+// multiplies runtime without exercising any concurrency, so it skips and
+// the live-vs-replay tests carry the -race coverage.
+const raceEnabled = true

@@ -1,0 +1,275 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scord/internal/config"
+	"scord/internal/core"
+)
+
+// sampleOps writes a representative op sequence covering every record
+// kind, negative cycle deltas, string interning reuse, and enough volume
+// to force multiple ops blocks. It returns the encoded trace and the ops
+// in the order written (as the Reader should decode them).
+func sampleTrace(t testing.TB, n int) ([]byte, []Op) {
+	t.Helper()
+	cfg := config.Default()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, NewHeader("sample", []string{"inj-a"}, cfg))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	var want []Op
+	w.Alloc("data", 0, 4096)
+	want = append(want, Op{Kind: OpAlloc, Name: "data", Base: 0, Bytes: 4096})
+	w.Alloc("locks", 4096, 128)
+	want = append(want, Op{Kind: OpAlloc, Name: "locks", Base: 4096, Bytes: 128})
+	w.KernelStart("kern", 2, 64, 10)
+	want = append(want, Op{Kind: OpKernel, Name: "kern", Blocks: 2, Threads: 64, Cycle: 10})
+	for i := 0; i < n; i++ {
+		a := core.Access{
+			Kind:     core.AccessKind(i % 3),
+			Scope:    core.Scope(i % 2),
+			Strong:   i%3 == 2,
+			Addr:     uint64((i * 4) % 4096),
+			Block:    i % 2,
+			Warp:     i % 4,
+			Barrier:  uint8(i % 5),
+			Site:     []string{"", "siteA", "siteB"}[i%3],
+			Cycle:    uint64(100 + (i%7)*3 - (i % 5)), // non-monotone
+			Lane:     i % 32,
+			Diverged: i%11 == 0,
+		}
+		aop := core.AtomicOp(i % int(core.AtomicRelease+1))
+		w.Access(a, aop, 4)
+		want = append(want, Op{Kind: OpAccess, Access: a, AtomicOp: aop, Size: 4})
+		if i%13 == 0 {
+			scope := core.Scope(i % 2)
+			w.Fence(i%2, i%4, scope, uint64(90+i), false)
+			want = append(want, Op{Kind: OpFence, Block: i % 2, Warp: i % 4,
+				Scope: scope, Cycle: uint64(90 + i)})
+		}
+		if i%17 == 0 {
+			w.Barrier(i%2, uint8(i%3), 2, uint64(95+i))
+			want = append(want, Op{Kind: OpBarrier, Block: i % 2, BarrierID: uint8(i % 3),
+				Warps: 2, Cycle: uint64(95 + i)})
+			w.Fence(i%2, 0, core.ScopeBlock, uint64(95+i), true)
+			want = append(want, Op{Kind: OpFence, Block: i % 2, Warp: 0,
+				Scope: core.ScopeBlock, FromBarrier: true, Cycle: uint64(95 + i)})
+		}
+	}
+	w.KernelEnd("kern", 100000)
+	want = append(want, Op{Kind: OpKernelEnd, Name: "kern", Cycle: 100000})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes(), want
+}
+
+func readAllOps(t *testing.T, raw []byte) (Header, []Op) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var ops []Op
+	for {
+		op, err := r.Next()
+		if err == io.EOF {
+			return r.Header(), ops
+		}
+		if err != nil {
+			t.Fatalf("Next after %d ops: %v", len(ops), err)
+		}
+		ops = append(ops, op)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 20000} { // 20000 forces several ops blocks
+		raw, want := sampleTrace(t, n)
+		h, got := readAllOps(t, raw)
+		if h.Benchmark != "sample" || len(h.Injections) != 1 || h.Version != Version {
+			t.Fatalf("header mismatch: %+v", h)
+		}
+		if h.ConfigHash != HashConfig(h.Config) {
+			t.Fatalf("config hash not self-consistent")
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: decoded %d ops, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("n=%d: op %d differs:\n got %+v\nwant %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWriterDeterministic(t *testing.T) {
+	a, _ := sampleTrace(t, 500)
+	b, _ := sampleTrace(t, 500)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical op sequences encoded to different bytes")
+	}
+}
+
+// TestTruncationAlwaysErrors cuts the trace at every length and asserts
+// the reader reports an error (never a silent success, never a panic).
+func TestTruncationAlwaysErrors(t *testing.T) {
+	raw, _ := sampleTrace(t, 50)
+	for cut := 0; cut < len(raw); cut++ {
+		r, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue // preamble/header already broken: fine
+		}
+		var lastErr error
+		for {
+			_, lastErr = r.Next()
+			if lastErr != nil {
+				break
+			}
+		}
+		if lastErr == io.EOF {
+			t.Fatalf("truncation at %d/%d bytes read back as a complete trace", cut, len(raw))
+		}
+		if !errors.Is(lastErr, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, lastErr)
+		}
+	}
+}
+
+// TestCorruptionAlwaysErrors flips one byte at a time through the whole
+// file; every flip must surface as an error by EOF (the CRC guarantees
+// it), and none may panic.
+func TestCorruptionAlwaysErrors(t *testing.T) {
+	raw, _ := sampleTrace(t, 50)
+	for pos := 0; pos < len(raw); pos++ {
+		mut := make([]byte, len(raw))
+		copy(mut, raw)
+		mut[pos] ^= 0x41
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		var lastErr error
+		for {
+			_, lastErr = r.Next()
+			if lastErr != nil {
+				break
+			}
+		}
+		if lastErr == io.EOF {
+			t.Fatalf("flipping byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestHeaderHashMismatchRejected(t *testing.T) {
+	raw, _ := sampleTrace(t, 1)
+	// Corrupt the embedded config without touching the declared hash: the
+	// header block is JSON, so flip a digit of the seed value — but any
+	// such change also breaks the block CRC. Build the mismatch honestly
+	// instead: write a header whose hash disagrees.
+	cfg := config.Default()
+	h := NewHeader("x", nil, cfg)
+	h.ConfigHash++ // simulate a mis-stitched header
+	hdr, err := marshalHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{magic[0], magic[1], magic[2], magic[3], Version})
+	w := &Writer{w: &buf}
+	if err := w.writeBlock(blockHeader, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "config hash mismatch") {
+		t.Fatalf("mismatched config hash accepted: %v", err)
+	}
+	_ = raw
+}
+
+func TestBadPreamble(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       []byte("SCT"),
+		"bad magic":   []byte("NOPE\x01"),
+		"bad version": []byte("SCTR\x7f"),
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestTrailingDataRejected(t *testing.T) {
+	raw, _ := sampleTrace(t, 3)
+	r, err := NewReader(bytes.NewReader(append(raw, 0x00)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, lastErr = r.Next()
+		if lastErr != nil {
+			break
+		}
+	}
+	if lastErr == io.EOF {
+		t.Fatal("trailing garbage after end block went undetected")
+	}
+}
+
+func TestErrorLatches(t *testing.T) {
+	raw, _ := sampleTrace(t, 20)
+	mut := make([]byte, len(raw))
+	copy(mut, raw)
+	mut[len(mut)/2] ^= 0xff
+	r, err := NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Skip("corruption landed in the header")
+	}
+	var first error
+	for {
+		_, first = r.Next()
+		if first != nil {
+			break
+		}
+	}
+	if _, again := r.Next(); again != first {
+		t.Fatalf("error did not latch: first %v, then %v", first, again)
+	}
+}
+
+func TestWriterLatchesWriteErrors(t *testing.T) {
+	w, err := NewWriter(&failAfter{n: 64}, NewHeader("x", nil, config.Default()))
+	if err != nil {
+		return // failed already at the header: acceptable
+	}
+	for i := 0; i < flushLen; i++ {
+		w.Access(core.Access{Addr: uint64(i)}, core.AtomicOther, 4)
+	}
+	if w.Err() == nil {
+		t.Fatal("writer swallowed underlying write failure")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close reported success after write failure")
+	}
+}
+
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n -= len(p); f.n < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
