@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunInterrupted: with an interrupt pending, the harness dispatches
+// no simulations, no CSV or metrics artifacts appear, and the run exits
+// with the interrupted status.
+func TestRunInterrupted(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	testInterrupt = ch
+	t.Cleanup(func() { testInterrupt = nil })
+
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	metricsDir := filepath.Join(t.TempDir(), "metrics")
+	var out, errOut strings.Builder
+	code := run([]string{"-only", "table8", "-jobs", "2", "-csv", csvDir, "-metrics", metricsDir}, &out, &errOut)
+	if code != exitInterrupted {
+		t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, exitInterrupted, errOut.String())
+	}
+	for _, dir := range []string{csvDir, metricsDir} {
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) > 0 {
+			t.Errorf("partial artifacts written to %s after interrupt: %v", dir, files)
+		}
+	}
+	if !strings.Contains(errOut.String(), "interrupted") {
+		t.Errorf("stderr missing interruption diagnostic:\n%s", errOut.String())
+	}
+}

@@ -26,21 +26,53 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"scord/internal/config"
 	"scord/internal/harness"
 	"scord/internal/obs"
 )
+
+// exitInterrupted is the exit code after a SIGINT/SIGTERM drain (128 +
+// SIGINT, the conventional interrupted status).
+const exitInterrupted = 130
+
+// testInterrupt, when non-nil, substitutes for OS signal delivery so
+// tests can exercise the drain path deterministically.
+var testInterrupt <-chan struct{}
+
+// cancelOnSignal returns a channel that closes on the first SIGINT or
+// SIGTERM: the harness stops dispatching simulations, drains in-flight
+// workers, and the run exits non-zero without writing partial artifacts.
+// A second signal exits immediately.
+func cancelOnSignal(logger *slog.Logger) <-chan struct{} {
+	if testInterrupt != nil {
+		return testInterrupt
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		logger.Warn("interrupted; draining in-flight simulations (second signal exits immediately)", "signal", sig)
+		close(done)
+		<-sigs
+		os.Exit(exitInterrupted)
+	}()
+	return done
+}
 
 // result is what every experiment produces: a rendered text table, and
 // CSV rows for plotting.
@@ -203,6 +235,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		col = obs.NewCollector()
 	}
 
+	cancel := cancelOnSignal(logger)
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.name) {
 			continue
@@ -211,10 +244,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt := harness.Options{
 			Config: &cfg, Jobs: *jobs, Report: rep,
 			Telemetry: tel, Samples: col, SampleEvery: *sampleEvery,
+			Cancel: cancel,
 		}
 		start := time.Now()
 		res, err := e.run(opt)
 		if err != nil {
+			if errors.Is(err, harness.ErrCanceled) {
+				// Workers drained; the experiment's table was never
+				// rendered and its CSV never written, and the sampled
+				// metrics are incomplete — write nothing partial.
+				logger.Warn("interrupted; experiment discarded, no partial artifacts written",
+					"experiment", e.name, "err", err)
+				return exitInterrupted
+			}
 			logger.Error("experiment failed", "experiment", e.name, "err", err)
 			return 1
 		}

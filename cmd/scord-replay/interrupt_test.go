@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// withInterrupt installs a pre-closed interrupt channel so the command
+// under test observes a signal that "arrived" before (or during) its
+// work, exercising the drain-and-clean-up path deterministically.
+func withInterrupt(t *testing.T) {
+	t.Helper()
+	ch := make(chan struct{})
+	close(ch)
+	testInterrupt = ch
+	t.Cleanup(func() { testInterrupt = nil })
+}
+
+// TestRecordInterruptedRemovesOutput: an interrupted record must not
+// leave its trace file behind and must exit with the interrupted status.
+func TestRecordInterruptedRemovesOutput(t *testing.T) {
+	withInterrupt(t)
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut)
+	if code != exitInterrupted {
+		t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, exitInterrupted, errOut.String())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("partial trace %s still exists after interrupt (stat err: %v)", path, err)
+	}
+}
+
+// TestTable8InterruptedRemovesCorpus: an interrupted table8 run must
+// drain its workers, remove the partial trace corpus from -dir, and exit
+// with the interrupted status.
+func TestTable8InterruptedRemovesCorpus(t *testing.T) {
+	withInterrupt(t)
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{"table8", "-dir", dir, "-jobs", "2"}, &out, &errOut)
+	if code != exitInterrupted {
+		t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, exitInterrupted, errOut.String())
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.sctr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) > 0 {
+		t.Errorf("partial corpus left behind after interrupt: %v", left)
+	}
+	if !strings.Contains(errOut.String(), "interrupted") {
+		t.Errorf("stderr missing interruption diagnostic:\n%s", errOut.String())
+	}
+}
+
+// TestReplayInterrupted: an interrupted replay stops before detectors run
+// and exits with the interrupted status.
+func TestReplayInterrupted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	withInterrupt(t)
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"replay", "-detector", "all", path}, &out, &errOut)
+	if code != exitInterrupted {
+		t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, exitInterrupted, errOut.String())
+	}
+	if strings.Contains(out.String(), "[ScoRD]") {
+		t.Errorf("detector sections rendered despite interrupt:\n%s", out.String())
+	}
+}

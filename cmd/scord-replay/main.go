@@ -23,13 +23,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"scord/internal/config"
 	"scord/internal/harness"
@@ -38,6 +41,45 @@ import (
 	"scord/internal/scor/micro"
 	"scord/internal/tracefile"
 )
+
+// exitInterrupted is the exit code after a SIGINT/SIGTERM drain (128 +
+// SIGINT, the conventional interrupted status).
+const exitInterrupted = 130
+
+// testInterrupt, when non-nil, substitutes for OS signal delivery so
+// tests can exercise the drain paths deterministically.
+var testInterrupt <-chan struct{}
+
+// cancelOnSignal returns a channel that closes on the first SIGINT or
+// SIGTERM. The commands stop dispatching new simulation jobs, drain
+// in-flight ones, remove partial output files and exit non-zero — the
+// same drain protocol scord-serve follows. A second signal exits
+// immediately.
+func cancelOnSignal(logger *slog.Logger) <-chan struct{} {
+	if testInterrupt != nil {
+		return testInterrupt
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		logger.Warn("interrupted; draining in-flight work (second signal exits immediately)", "signal", sig)
+		close(done)
+		<-sigs
+		os.Exit(exitInterrupted)
+	}()
+	return done
+}
+
+func canceled(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -84,19 +126,7 @@ func allBenchmarks() []scor.Benchmark {
 }
 
 func parseMode(s string) (config.DetectorMode, error) {
-	switch s {
-	case "off":
-		return config.ModeOff, nil
-	case "base":
-		return config.ModeFull4B, nil
-	case "scord":
-		return config.ModeCached, nil
-	case "gran8":
-		return config.ModeGran8B, nil
-	case "gran16":
-		return config.ModeGran16B, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (off|base|scord|gran8|gran16)", s)
+	return config.ParseMode(s)
 }
 
 func runRecord(args []string, stdout, stderr io.Writer) int {
@@ -150,6 +180,7 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	cfg.DeviceMemBytes *= *scale
 
+	cancel := cancelOnSignal(logger)
 	path := *out
 	if path == "" {
 		path = bench.Name() + harness.TraceExt
@@ -159,7 +190,7 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 		logger.Error("creating trace file", "err", err)
 		return 1
 	}
-	opt := harness.Options{Jobs: 1}
+	opt := harness.Options{Jobs: 1, Cancel: cancel}
 	if err := harness.RecordBenchmark(opt, cfg, "record/"+bench.Name(), bench, dm, active, f); err != nil {
 		f.Close()
 		os.Remove(path)
@@ -169,6 +200,14 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 	if err := f.Close(); err != nil {
 		logger.Error("closing trace file", "err", err)
 		return 1
+	}
+	// An interrupt during the (uninterruptible) simulation surfaces here:
+	// the trace on disk may reflect a run the user gave up on, so honor
+	// the drain protocol — remove the output and report the interruption.
+	if canceled(cancel) {
+		os.Remove(path)
+		logger.Warn("interrupted; removed output trace", "path", path)
+		return exitInterrupted
 	}
 	fi, _ := os.Stat(path)
 	fmt.Fprintf(stdout, "recorded %s [%v/%v] to %s (%d bytes)\n",
@@ -294,7 +333,12 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	cancel := cancelOnSignal(slog.New(slog.NewTextHandler(stderr, nil)))
 	for _, name := range names {
+		if canceled(cancel) {
+			fmt.Fprintln(stderr, "scord-replay replay: interrupted")
+			return exitInterrupted
+		}
 		t, err := replay.TargetByName(name, cfg)
 		if err != nil {
 			fmt.Fprintln(stderr, "scord-replay replay:", err)
@@ -310,20 +354,7 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "scord-replay replay: %s: %v\n", name, err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "\n[%s] %d ops (%d accesses, %d kernels): %d unique race(s)\n",
-			res.Detector, res.Ops, res.Accesses, res.Kernels, len(res.Races))
-		for _, rec := range res.Races {
-			fmt.Fprintln(stdout, "  ", res.DescribeRecord(rec))
-		}
-		if res.Detector == "ScoRD" {
-			c := res.Counters
-			fmt.Fprintf(stdout, "  checks %d (%d trivially race-free), evicts %d, releases %d, divergent %d\n",
-				c.DetectorChecks, c.DetectorPrelimOK, c.MetaCacheEvicts,
-				c.ReleaseObserved, c.DivergentAccesses)
-			if res.Overflowed > 0 {
-				fmt.Fprintf(stdout, "  %d distinct race(s) dropped after the record cap\n", res.Overflowed)
-			}
-		}
+		res.WriteText(stdout)
 	}
 	return 0
 }
@@ -342,8 +373,22 @@ func runTable8(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "scord-replay table8: -jobs must be >= 1, got %d\n", *jobs)
 		return 2
 	}
-	t8, err := harness.RunTable8RecordReplay(harness.Options{Jobs: *jobs}, *dir)
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	cancel := cancelOnSignal(logger)
+	t8, err := harness.RunTable8RecordReplay(harness.Options{Jobs: *jobs, Cancel: cancel}, *dir)
 	if err != nil {
+		if errors.Is(err, harness.ErrCanceled) {
+			// The recorded corpus is incomplete; remove this run's trace
+			// files so a later replay cannot mix partial state.
+			if *dir != "" {
+				for _, m := range micro.All() {
+					os.Remove(harness.MicroTracePath(*dir, m.Name()))
+				}
+				logger.Warn("interrupted; removed partial trace corpus", "dir", *dir)
+			}
+			fmt.Fprintln(stderr, "scord-replay table8: interrupted:", err)
+			return exitInterrupted
+		}
 		fmt.Fprintln(stderr, "scord-replay table8:", err)
 		return 1
 	}

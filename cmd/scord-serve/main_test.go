@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeGracefulShutdown: with the interrupt already pending, the
+// server starts, prints its bound address, drains and exits 0 — the
+// clean supervisor-visible shutdown path.
+func TestServeGracefulShutdown(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	testInterrupt = ch
+	t.Cleanup(func() { testInterrupt = nil })
+
+	var out, errOut strings.Builder
+	code := run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "scord-serve listening on http://127.0.0.1:") {
+		t.Errorf("stdout missing listen line:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "drained and stopped cleanly") {
+		t.Errorf("stderr missing clean-drain log:\n%s", errOut.String())
+	}
+}
+
+// TestLoadTestRun: the built-in load test records a trace, hammers the
+// in-process server with concurrent replays, triggers the mid-run
+// graceful drain, and reports zero dropped accepted jobs.
+func TestLoadTestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test records a trace and replays it dozens of times")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-shards", "2", "-workers", "2", "-queue", "8",
+		"-loadtest",
+		"-loadtest-requests", "60",
+		"-loadtest-concurrency", "8",
+		"-loadtest-detector", "scord",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"loadtest: 60 requests", "dropped=0", "throughput", "latency p50="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "graceful drain triggered") {
+		t.Errorf("report missing drain line:\n%s", got)
+	}
+}

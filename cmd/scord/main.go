@@ -77,19 +77,7 @@ func allBenchmarks() []scor.Benchmark {
 }
 
 func parseMode(s string) (config.DetectorMode, error) {
-	switch s {
-	case "off":
-		return config.ModeOff, nil
-	case "base":
-		return config.ModeFull4B, nil
-	case "scord":
-		return config.ModeCached, nil
-	case "gran8":
-		return config.ModeGran8B, nil
-	case "gran16":
-		return config.ModeGran16B, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (off|base|scord|gran8|gran16)", s)
+	return config.ParseMode(s)
 }
 
 func main() {

@@ -207,6 +207,24 @@ func HighMemory() Config {
 	return c
 }
 
+// ParseMode maps the mode names shared by the CLIs and the serve API
+// onto DetectorMode values.
+func ParseMode(s string) (DetectorMode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "base":
+		return ModeFull4B, nil
+	case "scord":
+		return ModeCached, nil
+	case "gran8":
+		return ModeGran8B, nil
+	case "gran16":
+		return ModeGran16B, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (off|base|scord|gran8|gran16)", s)
+}
+
 // WithDetector returns a copy of c with the detector mode set. All other
 // detector parameters keep their existing values.
 func (c Config) WithDetector(m DetectorMode) Config {

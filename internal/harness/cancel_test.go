@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunAllCancelStopsDispatch closes the cancel channel from inside the
+// first job: with one worker the remaining jobs must never be dispatched,
+// and the run must report ErrCanceled with the undispatched count.
+func TestRunAllCancelStopsDispatch(t *testing.T) {
+	cancel := make(chan struct{})
+	var ran atomic.Int64
+	sims := make([]Sim, 5)
+	for i := range sims {
+		i := i
+		sims[i] = Sim{Label: "job", Run: func() error {
+			ran.Add(1)
+			if i == 0 {
+				close(cancel)
+			}
+			return nil
+		}}
+	}
+	err := runAll(Options{Jobs: 1, Cancel: cancel}, sims)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("runAll = %v, want ErrCanceled", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("%d jobs ran after cancellation, want 1 (in-flight drains, no new dispatch)", got)
+	}
+}
+
+// TestRunAllCancelAfterCompletion closes the cancel channel only after
+// every job has been dispatched: the run completed its work, so it must
+// not be reported as canceled.
+func TestRunAllCancelAfterCompletion(t *testing.T) {
+	cancel := make(chan struct{})
+	var ran atomic.Int64
+	sims := make([]Sim, 3)
+	for i := range sims {
+		i := i
+		sims[i] = Sim{Label: "job", Run: func() error {
+			ran.Add(1)
+			if i == len(sims)-1 {
+				close(cancel)
+			}
+			return nil
+		}}
+	}
+	if err := runAll(Options{Jobs: 1, Cancel: cancel}, sims); err != nil {
+		t.Fatalf("runAll = %v, want nil (all jobs dispatched before cancel)", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Errorf("%d jobs ran, want 3", got)
+	}
+}
+
+// TestRunAllNilCancel: the zero Options must behave exactly as before.
+func TestRunAllNilCancel(t *testing.T) {
+	var ran atomic.Int64
+	err := runAll(Options{Jobs: 2}, []Sim{
+		{Label: "a", Run: func() error { ran.Add(1); return nil }},
+		{Label: "b", Run: func() error { ran.Add(1); return nil }},
+	})
+	if err != nil || ran.Load() != 2 {
+		t.Fatalf("runAll = %v with %d jobs run, want nil and 2", err, ran.Load())
+	}
+}

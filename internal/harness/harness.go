@@ -59,6 +59,13 @@ type Options struct {
 	// SampleEvery is the sampling interval in simulated cycles; 0 means
 	// DefaultSampleEvery. Only meaningful with Samples set.
 	SampleEvery uint64
+
+	// Cancel, when non-nil and closed, stops the runner from dispatching
+	// further jobs: in-flight simulations drain to completion and the run
+	// returns an error wrapping ErrCanceled. The CLIs close it on
+	// SIGINT/SIGTERM so an interrupted evaluation stops accepting work,
+	// drains its workers, and exits non-zero instead of dying mid-write.
+	Cancel <-chan struct{}
 }
 
 // observe attaches the configured observers to a freshly built device and

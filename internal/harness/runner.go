@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -124,11 +125,29 @@ func (o Options) jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ErrCanceled is returned (wrapped) by experiment runs whose Options.
+// Cancel channel closed before every job was dispatched. Jobs already
+// running drain to completion first — the runner never abandons a
+// simulation mid-flight.
+var ErrCanceled = errors.New("harness: run canceled")
+
+// canceled reports whether the options' cancel channel has closed.
+func (o Options) canceled() bool {
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // runAll drains sims on a bounded worker pool and blocks until every job
 // has finished. Jobs are handed out in submission order; results land in
 // the order-indexed slots the sims close over. The first error in
 // submission order — deterministic, unlike first-in-time — is returned
-// wrapped with its job label; later errors are dropped.
+// wrapped with its job label; later errors are dropped. A closed
+// Options.Cancel stops dispatch (ErrCanceled) but lets started jobs
+// finish.
 func runAll(opt Options, sims []Sim) error {
 	workers := opt.jobs()
 	if workers > len(sims) {
@@ -155,6 +174,9 @@ func runAll(opt Options, sims []Sim) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if opt.canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(sims) {
 					return
@@ -182,6 +204,10 @@ func runAll(opt Options, sims []Sim) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", sims[i].Label, err)
 		}
+	}
+	if dispatched := int(next.Load()); opt.canceled() && dispatched < len(sims) {
+		return fmt.Errorf("%d of %d jobs not dispatched: %w",
+			len(sims)-dispatched, len(sims), ErrCanceled)
 	}
 	return nil
 }

@@ -1,38 +1,42 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"time"
 )
 
-// Server is the live-telemetry HTTP endpoint of a harness run. It serves
+// MetricsWriter renders Prometheus text-exposition series. RunTelemetry
+// implements it; other subsystems (the serve layer's worker pool, result
+// cache and trace store) implement it too so one /metrics endpoint can
+// expose the whole process.
+type MetricsWriter interface {
+	WritePrometheus(w io.Writer) error
+}
+
+// NewMux returns the standard telemetry mux:
 //
-//	/metrics        Prometheus text exposition of the RunTelemetry hub
+//	/metrics        Prometheus text exposition of every writer, in order
 //	/debug/vars     expvar JSON (including the "scord" variable)
 //	/debug/pprof/   the standard Go profiling handlers
 //
-// The server only reads atomics and snapshots; it cannot perturb
-// simulation results, which depend solely on simulated cycles.
-type Server struct {
-	ln  net.Listener
-	srv *http.Server
-}
-
-// StartServer listens on addr (host:port; port 0 picks a free port) and
-// serves telemetry in a background goroutine until Close.
-func StartServer(addr string, t *RunTelemetry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
-	t.PublishExpvar()
+// Callers that need additional routes (scord-serve's API) register them
+// on the returned mux.
+func NewMux(writers ...MetricsWriter) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		t.WritePrometheus(w)
+		for _, mw := range writers {
+			if err := mw.WritePrometheus(w); err != nil {
+				return // client went away mid-scrape; nothing to salvage
+			}
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -40,13 +44,82 @@ func StartServer(addr string, t *RunTelemetry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln)
+	return mux
+}
+
+// Server is a live-telemetry HTTP endpoint (see NewMux for the standard
+// routes). The telemetry handlers only read atomics and snapshots; they
+// cannot perturb simulation results, which depend solely on simulated
+// cycles.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	// serveErr receives the background Serve result exactly once. Serve
+	// always returns — http.ErrServerClosed after a clean Shutdown/Close,
+	// the real failure otherwise — so Close can both wait for the serve
+	// goroutine to exit and surface its error instead of discarding it.
+	serveErr chan error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// drainTimeout bounds how long Close waits for in-flight requests (a
+// /metrics scrape, a pprof profile) to finish before cutting connections.
+const drainTimeout = 5 * time.Second
+
+// StartServer listens on addr (host:port; port 0 picks a free port) and
+// serves the hub's telemetry in a background goroutine until Close.
+func StartServer(addr string, t *RunTelemetry) (*Server, error) {
+	t.PublishExpvar()
+	return StartServerMux(addr, NewMux(t))
+}
+
+// StartServerMux is StartServer with a caller-built handler: scord-serve
+// reuses the listen/serve/drain lifecycle with its API routes mounted on
+// the telemetry mux.
+func StartServerMux(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, serveErr: make(chan error, 1)}
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close gracefully stops the server: it stops accepting connections,
+// waits up to drainTimeout for in-flight requests to complete (a scrape
+// is never cut mid-write), then force-closes whatever remains. It
+// returns the background Serve error if the listener failed, or the
+// shutdown error if the drain deadline was exceeded. Close is
+// idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		s.closeErr = s.shutdown(ctx)
+	})
+	return s.closeErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	shutdownErr := s.srv.Shutdown(ctx)
+	if shutdownErr != nil {
+		// Drain deadline exceeded (or ctx canceled): cut the remaining
+		// connections so the serve goroutine is guaranteed to exit.
+		s.srv.Close()
+	}
+	err := <-s.serveErr
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("obs: serve: %w", err)
+	}
+	return shutdownErr
+}

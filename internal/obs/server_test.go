@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) (string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func TestServerLifecycle(t *testing.T) {
+	tel := NewRunTelemetry()
+	tel.SetWorkers(3)
+	s, err := StartServer("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := scrape(t, "http://"+s.Addr()+"/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "scord_workers 3") {
+		t.Errorf("scrape missing worker gauge:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := scrape(t, "http://"+s.Addr()+"/metrics"); err == nil {
+		t.Error("scrape succeeded after Close")
+	}
+}
+
+// TestServerCloseSurfacesServeError kills the listener out from under the
+// serve goroutine; the failure used to vanish in a bare `go Serve`, now
+// Close reports it.
+func TestServerCloseSurfacesServeError(t *testing.T) {
+	s, err := StartServerMux("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ln.Close()
+	// Serve's Accept loop must observe the dead listener before Shutdown
+	// declares the (now listener-less) server cleanly closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.serveErr) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	err = s.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after the listener died")
+	}
+	if !strings.Contains(err.Error(), "obs: serve") {
+		t.Errorf("Close error %q does not surface the serve failure", err)
+	}
+}
+
+// TestServerCloseDrainsInflight starts a slow request and closes the
+// server mid-flight: graceful shutdown must let the response complete
+// instead of cutting the connection mid-write.
+func TestServerCloseDrainsInflight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		io.WriteString(w, "drained-ok")
+	})
+	s, err := StartServerMux("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make(chan string, 1)
+	go func() {
+		b, err := scrape(t, "http://"+s.Addr()+"/slow")
+		if err != nil {
+			b = "error: " + err.Error()
+		}
+		body <- b
+	}()
+	<-started
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// The request is in flight, so graceful shutdown must block on it.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if got := <-body; got != "drained-ok" {
+		t.Errorf("in-flight response = %q, want %q", got, "drained-ok")
+	}
+}
+
+// TestServerScrapeCloseRace hammers /metrics and /debug/vars from many
+// goroutines while Close runs concurrently; under -race this covers the
+// whole shutdown path. Requests may fail once the server is down — only
+// races and panics are failures.
+func TestServerScrapeCloseRace(t *testing.T) {
+	tel := NewRunTelemetry()
+	tel.SetWorkers(2)
+	for i := 0; i < 8; i++ {
+		tel.JobQueued(fmt.Sprintf("job-%d", i))
+	}
+	s, err := StartServer("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := "/metrics"
+			if i%2 == 1 {
+				path = "/debug/vars"
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + s.Addr() + path)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	go func() {
+		tel.JobStarted("job-0")
+		tel.JobDone("job-0")
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the replay outcome in the canonical text form: a
+// blank-line-separated "[Detector]" section with one indented line per
+// race record, plus the detector-owned counters for the real ScoRD
+// target. scord-replay and scord-serve both render through this
+// function, so an HTTP replay response is byte-identical to the offline
+// CLI's output for the same trace and detector set.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "\n[%s] %d ops (%d accesses, %d kernels): %d unique race(s)\n",
+		r.Detector, r.Ops, r.Accesses, r.Kernels, len(r.Races))
+	for _, rec := range r.Races {
+		fmt.Fprintf(w, "   %s\n", r.DescribeRecord(rec))
+	}
+	if r.Detector == "ScoRD" {
+		c := r.Counters
+		fmt.Fprintf(w, "  checks %d (%d trivially race-free), evicts %d, releases %d, divergent %d\n",
+			c.DetectorChecks, c.DetectorPrelimOK, c.MetaCacheEvicts,
+			c.ReleaseObserved, c.DivergentAccesses)
+		if r.Overflowed > 0 {
+			fmt.Fprintf(w, "  %d distinct race(s) dropped after the record cap\n", r.Overflowed)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package serve turns the replay engine into a long-running service:
+// upload an SCTR trace once, replay it under any detector set many
+// times, over HTTP. The building blocks mirror the offline pipeline —
+// tracefile.Reader validates uploads, replay.RunOps executes jobs — so
+// an HTTP replay is byte-identical to `scord-replay replay` on the same
+// trace.
+//
+// The package composes four parts:
+//
+//   - Store:       content-addressed, fully-validated trace uploads
+//   - Pool:        sharded bounded workers with per-tenant fairness
+//   - ResultCache: LRU over computed outcomes keyed by content hashes
+//   - Server:      the HTTP API mounted on the obs telemetry mux
+//
+// Every part implements Component (health + status for /healthz and
+// /statusz) and obs.MetricsWriter (Prometheus series for /metrics),
+// following the one-component-one-concern layout of production GPU
+// fleet daemons.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"scord/internal/config"
+	"scord/internal/obs"
+	"scord/internal/replay"
+	"scord/internal/tracefile"
+)
+
+// Component is one independently health-checked part of the service.
+// /healthz aggregates Healthy across components; /statusz renders each
+// Status under its Name.
+type Component interface {
+	Name() string
+	Healthy() (ok bool, detail string)
+	Status() any
+}
+
+// Config sizes the service. The zero value is usable: withDefaults fills
+// every field.
+type Config struct {
+	// Shards and WorkersPerShard size the replay pool; QueueDepth bounds
+	// each shard's queued jobs (beyond it, submissions get 429).
+	Shards          int
+	WorkersPerShard int
+	QueueDepth      int
+
+	// MaxUploadBytes caps one trace upload (413 beyond it);
+	// MaxStoreBytes caps total raw bytes retained across traces.
+	MaxUploadBytes int64
+	MaxStoreBytes  int64
+
+	// CacheEntries bounds the replay-outcome LRU.
+	CacheEntries int
+
+	// Logger receives request-level diagnostics; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.WorkersPerShard < 1 {
+		c.WorkersPerShard = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxStoreBytes <= 0 {
+		c.MaxStoreBytes = 256 << 20
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// outcome is one fully rendered replay result. Both response bodies are
+// computed once, under the pool, and served verbatim afterwards — a
+// cache hit returns the exact bytes the miss produced.
+type outcome struct {
+	jsonBody []byte
+	textBody []byte
+}
+
+// Server is the scord-serve HTTP service.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	store *Store
+	pool  *Pool
+	cache *ResultCache
+
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		store: NewStore(cfg.MaxStoreBytes),
+		pool:  NewPool(cfg.Shards, cfg.WorkersPerShard, cfg.QueueDepth),
+		cache: NewResultCache(cfg.CacheEntries),
+	}
+}
+
+// Components returns the health-checked parts in display order.
+func (s *Server) Components() []Component {
+	return []Component{s.pool, s.store, s.cache}
+}
+
+// Pool exposes the worker pool (the load-test harness and drain logic
+// read its counters).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Store exposes the trace store.
+func (s *Server) Store() *Store { return s.store }
+
+// Cache exposes the result cache.
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+// Drain gracefully stops the service's compute: new uploads and replays
+// are refused with 503, every accepted replay job runs to completion,
+// and Drain returns only when the pool is empty. The HTTP listener stays
+// up throughout so in-flight responses (and final scrapes of /metrics)
+// complete; the caller closes it afterwards.
+func (s *Server) Drain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.log.Info("drain started", "queued", s.pool.Queued())
+	s.pool.Drain()
+	sub, rej, comp, _ := s.pool.Counters()
+	s.log.Info("drain complete", "submitted", sub, "rejected", rej, "completed", comp)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the full route table: the obs telemetry mux (/metrics
+// with the pool, store and cache series; /debug/vars; /debug/pprof/*)
+// plus the serve API:
+//
+//	POST /v1/traces   upload an SCTR trace (validated, content-addressed)
+//	GET  /v1/traces   list stored trace IDs
+//	POST /v1/replay   replay a stored trace under a detector set
+//	GET  /healthz     200 when every component is healthy, else 503
+//	GET  /statusz     JSON status of every component
+func (s *Server) Handler() http.Handler {
+	mux := obs.NewMux(s.pool, s.store, s.cache)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/replay", s.handleReplay)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"traces": s.store.IDs()})
+	case http.MethodPost:
+		s.handleUpload(w, r)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("upload exceeds %d-byte cap", s.cfg.MaxUploadBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr, dup, err := s.store.Put(raw)
+	if err != nil {
+		if errors.Is(err, ErrStoreFull) {
+			http.Error(w, err.Error(), http.StatusInsufficientStorage)
+			return
+		}
+		// tracefile.Reader rejected the bytes: corrupt or truncated.
+		http.Error(w, "invalid trace: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.log.Info("trace stored", "id", tr.ID, "bytes", len(tr.Raw), "ops", tr.Ops, "dup", dup)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       tr.ID,
+		"dup":      dup,
+		"bytes":    len(tr.Raw),
+		"ops":      tr.Ops,
+		"accesses": tr.Accesses,
+		"kernels":  tr.Kernels,
+		"bench":    tr.Header.Benchmark,
+	})
+}
+
+// replayRequest is the POST /v1/replay body.
+type replayRequest struct {
+	// Trace is the content hash returned by the upload.
+	Trace string `json:"trace"`
+	// Detector is one of replay.TargetNames() or "all" (default "all").
+	Detector string `json:"detector"`
+	// Mode optionally overrides the trace's recorded detector mode
+	// (off|base|scord|gran8|gran16) for the scord target.
+	Mode string `json:"mode"`
+	// NoCache forces computation even when an identical outcome is
+	// cached (the load-test harness measures replay, not cache, speed).
+	NoCache bool `json:"no_cache"`
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req replayRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr, ok := s.store.Get(req.Trace)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown trace %q", req.Trace), http.StatusNotFound)
+		return
+	}
+	names, err := detectorList(req.Detector)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := tr.Header.Config
+	if req.Mode != "" {
+		dm, err := config.ParseMode(req.Mode)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg = cfg.WithDetector(dm)
+	}
+
+	key := cacheKey{
+		trace:      tr.ID,
+		configHash: tracefile.HashConfig(cfg),
+		detectors:  strings.Join(names, ","),
+	}
+	if !req.NoCache {
+		if out, ok := s.cache.Get(key); ok {
+			s.respond(w, r, out, "hit")
+			return
+		}
+	}
+
+	tenant := r.Header.Get("X-Scord-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	var (
+		out    *outcome
+		runErr error
+	)
+	done, err := s.pool.Submit(tenant, func() {
+		out, runErr = computeOutcome(tr, names, cfg)
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	<-done
+	if runErr != nil {
+		s.log.Error("replay failed", "trace", tr.ID, "err", runErr)
+		http.Error(w, "replay: "+runErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !req.NoCache {
+		s.cache.Put(key, out)
+	}
+	s.respond(w, r, out, "miss")
+}
+
+// respond writes one precomputed outcome; ?format=text selects the
+// canonical text rendering (byte-identical to scord-replay's sections),
+// anything else the JSON body. X-Scord-Cache reports hit or miss.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, out *outcome, cache string) {
+	w.Header().Set("X-Scord-Cache", cache)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(out.textBody)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out.jsonBody)
+}
+
+// detectorList canonicalizes a request's detector field: "all" (or
+// empty) expands to every target, a single name is validated against
+// the registry.
+func detectorList(d string) ([]string, error) {
+	if d == "" || d == "all" {
+		return replay.TargetNames(), nil
+	}
+	names := replay.TargetNames()
+	if i := sort.SearchStrings(names, d); i < len(names) && names[i] == d {
+		return []string{d}, nil
+	}
+	return nil, fmt.Errorf("unknown detector %q (choose from %v or \"all\")", d, names)
+}
+
+// detectorResult is the JSON form of one replay.Result.
+type detectorResult struct {
+	Detector string   `json:"detector"`
+	Ops      int      `json:"ops"`
+	Accesses int      `json:"accesses"`
+	Kernels  int      `json:"kernels"`
+	Races    []string `json:"races"`
+}
+
+// computeOutcome replays tr under every named detector and renders both
+// response bodies. It runs on a pool worker; everything it touches is
+// either immutable (tr.Raw) or freshly built per call, so any number of
+// outcomes compute concurrently.
+func computeOutcome(tr *Trace, names []string, cfg config.Config) (*outcome, error) {
+	rd, err := tracefile.NewReader(bytes.NewReader(tr.Raw))
+	if err != nil {
+		return nil, err
+	}
+	ops, err := replay.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		text    bytes.Buffer
+		results []detectorResult
+	)
+	for _, name := range names {
+		t, err := replay.TargetByName(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := replay.RunOps(rd.Header(), ops, t)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		res.WriteText(&text)
+		races := make([]string, 0, len(res.Races))
+		for _, rec := range res.Races {
+			races = append(races, res.DescribeRecord(rec))
+		}
+		results = append(results, detectorResult{
+			Detector: res.Detector,
+			Ops:      res.Ops,
+			Accesses: res.Accesses,
+			Kernels:  res.Kernels,
+			Races:    races,
+		})
+	}
+	jsonBody, err := json.Marshal(map[string]any{
+		"trace":       tr.ID,
+		"config_hash": tracefile.HashConfig(cfg),
+		"detectors":   results,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &outcome{jsonBody: jsonBody, textBody: text.Bytes()}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type bad struct{ name, detail string }
+	var failing []bad
+	for _, c := range s.Components() {
+		if ok, detail := c.Healthy(); !ok {
+			failing = append(failing, bad{c.Name(), detail})
+		}
+	}
+	if s.Draining() || len(failing) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if s.Draining() {
+			fmt.Fprintln(w, "draining")
+		}
+		for _, f := range failing {
+			fmt.Fprintf(w, "%s: %s\n", f.name, f.detail)
+		}
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	type componentStatus struct {
+		Healthy bool   `json:"healthy"`
+		Detail  string `json:"detail"`
+		Status  any    `json:"status"`
+	}
+	status := map[string]componentStatus{}
+	for _, c := range s.Components() {
+		ok, detail := c.Healthy()
+		status[c.Name()] = componentStatus{Healthy: ok, Detail: detail, Status: c.Status()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining":   s.Draining(),
+		"components": status,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -29,8 +29,9 @@ type Reader struct {
 	br     *bufio.Reader
 	header Header
 
-	payload []byte // current ops-block payload
+	payload []byte // current ops-block payload (aliases scratch)
 	pos     int
+	scratch []byte // block buffer reused across readBlock calls
 
 	strs []string // interned string table, mirrored from the writer
 
@@ -163,17 +164,32 @@ func (r *Reader) readBlock() (byte, []byte, error) {
 	if n > maxBlockLen {
 		return 0, nil, corrupt("block length %d exceeds limit %d", n, maxBlockLen)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r.br, payload); err != nil {
+	// Reuse one scratch buffer across blocks: by the time the next block
+	// is read, the previous payload is fully consumed (the header is
+	// decoded eagerly and ops blocks are drained before nextBlock runs),
+	// and everything that outlives a block — interned strings, site
+	// labels — is copied out. A fresh make per block would let a hostile
+	// or merely long stream drive allocation churn at up to maxBlockLen
+	// per block. The leading byte holds the kind and the 4 trailing bytes
+	// the stored CRC, so the whole frame reads and checksums without any
+	// per-block temporaries escaping to the heap.
+	if uint64(cap(r.scratch)) < n+5 {
+		// 25% headroom so ops blocks whose sizes jitter around flushLen
+		// settle into one buffer instead of reallocating every few blocks.
+		grow := n + n/4 + 5
+		if grow > maxBlockLen+5 {
+			grow = maxBlockLen + 5
+		}
+		r.scratch = make([]byte, grow)
+	}
+	frame := r.scratch[:n+5]
+	frame[0] = kind
+	if _, err := io.ReadFull(r.br, frame[1:]); err != nil {
 		return 0, nil, corrupt("reading %d-byte block payload: %v", n, err)
 	}
-	var crcb [4]byte
-	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
-		return 0, nil, corrupt("reading block checksum: %v", err)
-	}
-	crc := crc32.Update(0, castagnoli, []byte{kind})
-	crc = crc32.Update(crc, castagnoli, payload)
-	if got := binary.LittleEndian.Uint32(crcb[:]); got != crc {
+	payload := frame[1 : n+1]
+	crc := crc32.Update(0, castagnoli, frame[:n+1])
+	if got := binary.LittleEndian.Uint32(frame[n+1:]); got != crc {
 		return 0, nil, corrupt("block %q checksum mismatch: stored %#x, computed %#x", kind, got, crc)
 	}
 	return kind, payload, nil
