@@ -12,6 +12,8 @@
 //	scord-replay replay gcol.sctr
 //	scord-replay replay -detector all gcol.sctr
 //	scord-replay replay -perturb 500 -perturb-seed 7 gcol.sctr
+//	scord-replay predict gcol.sctr
+//	scord-replay predict -confirm gcol.sctr
 //	scord-replay table8 -dir traces/
 //
 // The replay subcommand's -perturb mode applies bounded, seeded
@@ -34,8 +36,10 @@ import (
 	"strings"
 	"syscall"
 
+	"scord/internal/analysis/predict"
 	"scord/internal/config"
 	"scord/internal/harness"
+	"scord/internal/mem"
 	"scord/internal/replay"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
@@ -92,6 +96,7 @@ commands:
   record   run one benchmark live and write its memory-op trace
   dump     print a trace's header and ops in human-readable form
   replay   run detector models over a recorded trace
+  predict  soundly predict races reachable from a recorded trace
   table8   record the micro corpus and regenerate Table VIII from it
 
 run 'scord-replay <command> -h' for the command's flags
@@ -110,6 +115,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDump(args[1:], stdout, stderr)
 	case "replay":
 		return runReplay(args[1:], stdout, stderr)
+	case "predict":
+		return runPredict(args[1:], stdout, stderr)
 	case "table8":
 		return runTable8(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
@@ -357,6 +364,91 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 		res.WriteText(stdout)
 	}
 	return 0
+}
+
+func runPredict(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scord-replay predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		check   = fs.Bool("check", true, "re-verify every witness independently against the raw op stream")
+		confirm = fs.Bool("confirm", false, "confirm each prediction against the dynamic detector: on the recorded schedule, then on a targeted legal perturbation of the witness pair")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, r, code := openTrace(fs, "predict", stderr)
+	if code != 0 {
+		return code
+	}
+	defer f.Close()
+
+	h := r.Header()
+	ops, err := replay.ReadAll(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "scord-replay predict:", err)
+		return 1
+	}
+	res, err := predict.Run(h, ops, predict.Options{})
+	if err != nil {
+		fmt.Fprintln(stderr, "scord-replay predict:", err)
+		return 1
+	}
+	printHeader(stdout, h)
+	res.WriteText(stdout)
+
+	if *check {
+		for _, p := range res.Predictions {
+			if err := predict.CheckWitness(h, ops, p.Witness); err != nil {
+				fmt.Fprintf(stderr, "scord-replay predict: witness for %s/%s failed verification: %v\n",
+					p.Alloc, p.Record.Kind, err)
+				return 1
+			}
+		}
+	}
+	if *confirm {
+		observed, err := observedTuples(h, ops)
+		if err != nil {
+			fmt.Fprintln(stderr, "scord-replay predict:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+		for _, p := range res.Predictions {
+			c, err := predict.Confirm(h, ops, p, observed)
+			if err != nil {
+				fmt.Fprintln(stderr, "scord-replay predict:", err)
+				return 1
+			}
+			verdict := c.String()
+			if c == predict.Unconfirmed {
+				key := h.Benchmark + "/" + p.Alloc + "/" + p.Record.Kind.String()
+				if _, ok := predict.Justified[key]; ok {
+					verdict = "justified"
+				}
+			}
+			fmt.Fprintf(stdout, "confirm %s/%s: %s\n", p.Alloc, p.Record.Kind, verdict)
+		}
+	}
+	return 0
+}
+
+// observedTuples replays the recorded schedule through the real detector
+// and collects its (alloc, kind) race tuples.
+func observedTuples(h tracefile.Header, ops []tracefile.Op) (map[predict.Tuple]bool, error) {
+	sc, err := replay.NewScoRD(h.Config)
+	if err != nil {
+		return nil, err
+	}
+	res, err := replay.RunOps(h, ops, sc)
+	if err != nil {
+		return nil, err
+	}
+	observed := map[predict.Tuple]bool{}
+	for _, rec := range res.Races {
+		if al, ok := res.Mem.Locate(mem.Addr(rec.Addr)); ok {
+			observed[predict.Tuple{Alloc: al.Name, Kind: rec.Kind}] = true
+		}
+	}
+	return observed, nil
 }
 
 func runTable8(args []string, stdout, stderr io.Writer) int {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -123,5 +124,50 @@ func TestTable8Subcommand(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("table8 output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestPredictSubcommand records the racey fence micro and runs the
+// predictive analysis over the trace, comparing byte-for-byte against
+// the checked-in golden (the same diff the CI smoke step performs).
+func TestPredictSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"predict", "-confirm", path}, &out, &errOut); code != 0 {
+		t.Fatalf("predict: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "predict_fence.golden"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("predict output differs from testdata/predict_fence.golden:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestPredictRejectsCorruptTrace: a truncated trace fails cleanly.
+func TestPredictRejectsCorruptTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	good := filepath.Join(t.TempDir(), "good.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", good}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"predict", path}, &out, &errOut); code == 0 {
+		t.Fatal("predicting over a truncated trace unexpectedly succeeded")
 	}
 }

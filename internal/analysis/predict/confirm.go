@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"scord/internal/mem"
+	"scord/internal/replay"
+	"scord/internal/tracefile"
+)
+
+// Confirmation classifies how a prediction was discharged against the
+// dynamic detector.
+type Confirmation int
+
+const (
+	// Unconfirmed: neither the recorded schedule nor the targeted
+	// perturbation made the dynamic detector report the tuple. The
+	// prediction needs a Justified entry to pass the three-way gate.
+	Unconfirmed Confirmation = iota
+	// ConfirmedObserved: the detector already reported the (alloc, kind)
+	// tuple on the recorded schedule.
+	ConfirmedObserved
+	// ConfirmedPerturbed: replay.PerturbTarget produced a legal witness
+	// schedule on which the detector reports the tuple.
+	ConfirmedPerturbed
+)
+
+func (c Confirmation) String() string {
+	switch c {
+	case ConfirmedObserved:
+		return "observed"
+	case ConfirmedPerturbed:
+		return "perturbed"
+	default:
+		return "unconfirmed"
+	}
+}
+
+// Confirm checks one prediction against the dynamic detector. observed
+// is the (alloc, kind) tuple set the detector reported on the recorded
+// schedule (may be nil). If the tuple was not observed, the witness pair
+// is driven adjacent by replay.PerturbTarget — a legality-preserving
+// reordering, so any race it exposes is reachable — and the perturbed
+// schedule is replayed through the real ScoRD model.
+func Confirm(h tracefile.Header, ops []tracefile.Op, p Prediction, observed map[Tuple]bool) (Confirmation, error) {
+	if observed[Tuple{Alloc: p.Alloc, Kind: p.Record.Kind}] {
+		return ConfirmedObserved, nil
+	}
+	pops, _, _, _ := replay.PerturbTarget(ops, p.Witness.Prev, p.Witness.Cur)
+	if pops == nil {
+		return Unconfirmed, nil
+	}
+	sc, err := replay.NewScoRD(h.Config)
+	if err != nil {
+		return Unconfirmed, err
+	}
+	res, err := replay.RunOps(h, pops, sc)
+	if err != nil {
+		return Unconfirmed, err
+	}
+	for _, rec := range res.Races {
+		if rec.Kind != p.Record.Kind {
+			continue
+		}
+		if al, ok := res.Mem.Locate(mem.Addr(rec.Addr)); ok && al.Name == p.Alloc {
+			return ConfirmedPerturbed, nil
+		}
+	}
+	return Unconfirmed, nil
+}

@@ -1,0 +1,89 @@
+package predict_test
+
+import (
+	"bytes"
+	"testing"
+
+	"scord/internal/analysis/predict"
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/replay"
+	"scord/internal/scor/micro"
+	"scord/internal/tracefile"
+)
+
+func microFuzzConfig() config.Config {
+	return config.Default().WithDetector(config.ModeFull4B)
+}
+
+func newFuzzDevice() (*gpu.Device, error) { return gpu.New(microFuzzConfig()) }
+
+// FuzzPredict feeds arbitrary bytes through the trace reader and the
+// predictive analysis. Hostile input — corrupt frames, absurd headers,
+// out-of-range block/warp IDs, runaway allocations — must come back as
+// an error, never a panic, unbounded loop or unbounded allocation. The
+// seeds are real recorded micro traces plus simple mutations, so the
+// fuzzer starts past the magic/CRC gates with structurally valid ops.
+func FuzzPredict(f *testing.F) {
+	for _, name := range []string{"fence.racey.cross-none", "lock.racey.none-cross", "atom.ok.exch-then-atomicread"} {
+		var m *micro.Micro
+		for _, cand := range micro.All() {
+			if cand.Name() == name {
+				m = cand
+			}
+		}
+		if m == nil {
+			f.Fatalf("no micro %q", name)
+		}
+		var buf bytes.Buffer
+		tw, err := tracefile.NewWriter(&buf, tracefile.NewHeader(m.Name(), nil, microFuzzConfig()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		d, err := newFuzzDevice()
+		if err != nil {
+			f.Fatal(err)
+		}
+		d.SetOpSink(tw)
+		if err := m.Run(d, nil); err != nil {
+			f.Fatal(err)
+		}
+		if err := tw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		raw := buf.Bytes()
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2])
+		mut := append([]byte(nil), raw...)
+		mut[len(mut)/2] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("SCTR\x01"))
+	f.Add([]byte{})
+
+	opt := predict.Options{MaxOps: 1 << 20, MaxMemBytes: 1 << 24}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := tracefile.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		res, err := predict.FromReader(r, opt)
+		if err != nil {
+			return
+		}
+		// A successfully analyzed trace must re-verify its own witnesses.
+		r2, err := tracefile.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second read of accepted trace failed: %v", err)
+		}
+		ops, err := replay.ReadAll(r2)
+		if err != nil {
+			t.Fatalf("second decode of accepted trace failed: %v", err)
+		}
+		for _, p := range res.Predictions {
+			if err := predict.CheckWitness(res.Header, ops, p.Witness); err != nil {
+				t.Fatalf("witness failed verification on accepted trace: %v\n  %s", err, p.Witness)
+			}
+		}
+	})
+}

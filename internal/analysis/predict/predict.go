@@ -1,0 +1,593 @@
+// Package predict is a sound predictive race analysis over recorded SCTR
+// traces (internal/tracefile): from one observed schedule it reports the
+// conflicting access pairs that no mandatory ordering of the execution
+// orders, i.e. races reachable in *some* legal reordering, without
+// re-executing the program.
+//
+// The analysis computes a scoped-SHB-style partial order from the op
+// stream and checks every conflicting pair against it:
+//
+//   - program order within a thread (a warp, or a lane of a diverged warp
+//     under the ITS extension);
+//   - barrier-phase edges: every warp of a block participates in every
+//     __syncthreads, so same-block accesses in different barrier phases
+//     are ordered in every legal schedule;
+//   - kernel boundaries: a launch is a device-wide synchronization point,
+//     so per-kernel analysis state is reset exactly like the detector's
+//     metadata;
+//   - release→acquire edges keyed by scope and sync object, using the
+//     same CAS+fence / fence+Exch lock inference the dynamic detector and
+//     the static dataflow share (core.LockTable is reused verbatim, so
+//     the lockset suppression is bit-compatible with the hardware bloom);
+//   - writer-side scoped fences, tracked through core.FenceFile exactly
+//     as the detector tracks them (Table IV (a)/(b)), with the strong-
+//     operation restriction of Table IV (c).
+//
+// Where the detector keeps one metadata slot per word — so a third access
+// overwrites the evidence of an earlier conflict — the predictor keeps a
+// vector frame per (word, thread): the last read and last write of every
+// thread, each carrying the scoped epoch (barrier phase, fence-file IDs,
+// lock bloom) it executed under. A pair unordered by the partial order is
+// reported with a machine-checkable witness: the two trace offsets plus
+// the sync state that fails to order them (verified independently by
+// CheckWitness).
+//
+// Soundness: every ordering edge above is mandatory in every legal
+// reordering of the trace (program order, barrier and kernel semantics)
+// or mirrors the synchronization the program actually performed
+// (lock/fence edges), so an unordered conflicting pair can be brought
+// together by a legality-preserving reordering — replay.PerturbTarget
+// searches for exactly such a schedule and the three-way gate in
+// racepred/diffval demands one (or a reviewed justification) for every
+// prediction the dynamic detector did not already confirm.
+package predict
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"scord/internal/core"
+	"scord/internal/mem"
+	"scord/internal/tracefile"
+)
+
+// Options bounds an analysis run so hostile traces terminate cleanly.
+type Options struct {
+	// MaxOps caps the decoded ops analyzed; 0 means DefaultMaxOps.
+	MaxOps int
+	// MaxMemBytes caps the reconstructed device arena; 0 means
+	// DefaultMaxMemBytes. Headers demanding more are rejected.
+	MaxMemBytes uint64
+}
+
+// Default analysis bounds: far above anything the suite records, low
+// enough that a corrupt header cannot drive a runaway allocation.
+const (
+	DefaultMaxOps      = 64 << 20
+	DefaultMaxMemBytes = 1 << 30
+)
+
+func (o Options) maxOps() int {
+	if o.MaxOps > 0 {
+		return o.MaxOps
+	}
+	return DefaultMaxOps
+}
+
+func (o Options) maxMem() uint64 {
+	if o.MaxMemBytes > 0 {
+		return o.MaxMemBytes
+	}
+	return DefaultMaxMemBytes
+}
+
+// Prediction is one predicted race: a detector-shaped record (deduped by
+// kind, word and site, counting contributing pairs) plus the witness of
+// the first unordered pair that produced it.
+type Prediction struct {
+	Record core.Record
+	// Alloc is the allocation containing the word ("" when the address
+	// falls outside every recorded allocation).
+	Alloc   string
+	Witness Witness
+}
+
+// Result is the outcome of one predictive analysis.
+type Result struct {
+	Header      tracefile.Header
+	Predictions []Prediction
+
+	// Ops, Accesses and Kernels count what the trace contained.
+	Ops, Accesses, Kernels int
+
+	// Mem is the reconstructed allocation map (no data), used to resolve
+	// record addresses to allocation names exactly as replay does.
+	Mem *mem.Memory
+}
+
+// thread identifies an analysis thread: a warp, or — under the ITS
+// extension — one lane of a diverged warp. lane is -1 for whole-warp
+// accesses.
+type thread struct {
+	block, warp, lane int
+}
+
+// sameThread mirrors the detector's sameWarp computation: two accesses of
+// one warp are program-ordered unless both were issued diverged on
+// different lanes (ITS, Section VI).
+func sameThread(a, b thread) bool {
+	if a.block != b.block || a.warp != b.warp {
+		return false
+	}
+	return a.lane < 0 || b.lane < 0 || a.lane == b.lane
+}
+
+// frame is the scoped epoch of one thread's last read or last write of a
+// word: everything the pair check needs to decide whether a later access
+// is ordered after it.
+type frame struct {
+	used bool
+	op   int // trace op index
+	t    thread
+
+	kind   core.AccessKind
+	scope  core.Scope // atomics only
+	strong bool
+	site   string
+	cycle  uint64
+
+	phase    uint64     // owning block's barrier phase at the access
+	blkFence uint8      // fence-file IDs of the thread's warp at the access
+	devFence uint8      //
+	bloom    core.Bloom // active-lock summary the access carried
+	diverged bool
+}
+
+// wordState is the per-word analysis state: one read and one write frame
+// per thread, plus the sticky strong flag that mirrors the metadata
+// entry's Strong bit (weak accesses poison fence-based ordering for the
+// whole word until the next kernel, Table IV (c)).
+type wordState struct {
+	frames      []frameSlot
+	allStrong   bool
+	initialized bool
+}
+
+type frameSlot struct {
+	t           thread
+	read, write frame
+}
+
+func (ws *wordState) slot(t thread) *frameSlot {
+	for i := range ws.frames {
+		if ws.frames[i].t == t {
+			return &ws.frames[i]
+		}
+	}
+	ws.frames = append(ws.frames, frameSlot{t: t})
+	return &ws.frames[len(ws.frames)-1]
+}
+
+// analysis is the streaming state of one run.
+type analysis struct {
+	header tracefile.Header
+	opt    Options
+
+	its    bool
+	acqrel bool
+
+	ff     core.FenceFile
+	locks  []core.LockTable
+	phases map[int]uint64 // block -> barrier phase
+	words  map[uint64]*wordState
+
+	mm  *mem.Memory
+	res *Result
+
+	index map[recordKey]int
+}
+
+type recordKey struct {
+	kind core.RaceKind
+	addr uint64
+	site string
+}
+
+// FromReader streams a whole trace through the analysis.
+func FromReader(r *tracefile.Reader, opt Options) (*Result, error) {
+	a, err := newAnalysis(r.Header(), opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; ; i++ {
+		op, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.apply(i, &op); err != nil {
+			return nil, err
+		}
+	}
+	return a.finish(), nil
+}
+
+// Run analyzes an in-memory op sequence under the given header.
+func Run(h tracefile.Header, ops []tracefile.Op, opt Options) (*Result, error) {
+	a, err := newAnalysis(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ops {
+		if err := a.apply(i, &ops[i]); err != nil {
+			return nil, err
+		}
+	}
+	return a.finish(), nil
+}
+
+func newAnalysis(h tracefile.Header, opt Options) (*analysis, error) {
+	memBytes := uint64(h.Config.DeviceMemBytes)
+	if h.Config.DeviceMemBytes <= 0 || memBytes%mem.WordBytes != 0 {
+		return nil, fmt.Errorf("predict: header device memory %d bytes is not a positive word multiple", h.Config.DeviceMemBytes)
+	}
+	if memBytes > opt.maxMem() {
+		return nil, fmt.Errorf("predict: header demands %d bytes of device memory (limit %d)", memBytes, opt.maxMem())
+	}
+	return &analysis{
+		header: h,
+		opt:    opt,
+		its:    h.Config.Detector.ITS,
+		acqrel: h.Config.Detector.AcqRel,
+		phases: make(map[int]uint64),
+		words:  make(map[uint64]*wordState),
+		mm:     mem.New(memBytes),
+		res:    &Result{Header: h},
+		index:  make(map[recordKey]int),
+	}, nil
+}
+
+// warpKey mirrors the detector's dense lock-table index.
+func warpKey(block, warp int) int { return block<<6 | warp&63 }
+
+// Hostile-trace bounds: block and warp IDs far beyond any real grid are
+// rejected before they can size the dense per-warp lock-table slice.
+const (
+	maxBlockID = 1 << 20
+	maxWarpID  = 1 << 12
+)
+
+func validIDs(block, warp int) bool {
+	return block >= 0 && block < maxBlockID && warp >= 0 && warp < maxWarpID
+}
+
+func (a *analysis) lockTable(block, warp int) *core.LockTable {
+	k := warpKey(block, warp)
+	if k >= len(a.locks) {
+		grown := make([]core.LockTable, k+64)
+		copy(grown, a.locks)
+		a.locks = grown
+	}
+	return &a.locks[k]
+}
+
+// resetForKernel mirrors Detector.ResetForKernel: a launch is a global
+// synchronization point, so cross-kernel pairs can never race.
+func (a *analysis) resetForKernel() {
+	a.ff.Reset()
+	clear(a.locks)
+	a.phases = make(map[int]uint64)
+	a.words = make(map[uint64]*wordState)
+}
+
+func (a *analysis) apply(i int, op *tracefile.Op) error {
+	if a.res.Ops >= a.opt.maxOps() {
+		return fmt.Errorf("predict: trace exceeds %d ops", a.opt.maxOps())
+	}
+	a.res.Ops++
+	switch op.Kind {
+	case tracefile.OpAccess:
+		if !validIDs(op.Access.Block, op.Access.Warp) {
+			return fmt.Errorf("predict: access op %d has out-of-range block %d / warp %d", i, op.Access.Block, op.Access.Warp)
+		}
+		a.res.Accesses++
+		a.onAccess(i, op)
+	case tracefile.OpFence:
+		if !validIDs(op.Block, op.Warp) {
+			return fmt.Errorf("predict: fence op %d has out-of-range block %d / warp %d", i, op.Block, op.Warp)
+		}
+		a.ff.OnFence(op.Block, op.Warp, op.Scope)
+		a.lockTable(op.Block, op.Warp).OnFence(op.Scope)
+	case tracefile.OpBarrier:
+		a.phases[op.Block]++
+	case tracefile.OpKernel:
+		a.res.Kernels++
+		a.resetForKernel()
+	case tracefile.OpKernelEnd:
+	case tracefile.OpAlloc:
+		// Reconstruct the allocation map; recorded base addresses must
+		// match the deterministic bump allocator (replay's drift check).
+		// The bounds guard mirrors mem.Alloc's alignment arithmetic
+		// (overflow-safe) so hostile traces error instead of panicking.
+		wantBase := (a.mm.Used() + 127) &^ 127
+		padded := (op.Bytes + mem.WordBytes - 1) &^ (mem.WordBytes - 1)
+		if padded < op.Bytes || wantBase > a.mm.Size() || padded > a.mm.Size()-wantBase {
+			return fmt.Errorf("predict: allocation %q (%d bytes) exceeds the %d-byte arena",
+				op.Name, op.Bytes, a.mm.Size())
+		}
+		base := a.mm.Alloc(op.Name, op.Bytes)
+		if uint64(base) != op.Base {
+			return fmt.Errorf("predict: allocation %q reconstructed at %#x but recorded at %#x (trace/config drift)",
+				op.Name, uint64(base), op.Base)
+		}
+	default:
+		return fmt.Errorf("predict: unhandled op kind %v", op.Kind)
+	}
+	return nil
+}
+
+// onAccess reproduces the detector's per-access call sequence — a release
+// atomic's lock/fence effects precede the check, every other flavour
+// follows it — then checks the access against every other thread's frames
+// and records its own.
+func (a *analysis) onAccess(i int, op *tracefile.Op) {
+	acc := op.Access
+	t := thread{block: acc.Block, warp: acc.Warp, lane: -1}
+	if a.its && acc.Diverged {
+		t.lane = acc.Lane
+	}
+
+	if op.AtomicOp == core.AtomicRelease && a.acqrel {
+		// Mirror Detector.OnRelease: fence at the release's scope, then a
+		// releasing Exch on the sync object.
+		a.ff.OnFence(acc.Block, acc.Warp, acc.Scope)
+		lt := a.lockTable(acc.Block, acc.Warp)
+		lt.OnFence(acc.Scope)
+		lt.OnExch(acc.Addr, acc.Scope)
+	}
+
+	cur := a.lockTable(acc.Block, acc.Warp).Summary()
+	word := acc.Addr / mem.WordBytes
+	ws := a.words[word]
+	if ws == nil {
+		ws = &wordState{allStrong: true}
+		a.words[word] = ws
+	}
+
+	a.checkPairs(i, op, t, cur, ws)
+	a.updateFrames(i, op, t, cur, ws)
+
+	switch op.AtomicOp {
+	case core.AtomicCAS:
+		a.lockTable(acc.Block, acc.Warp).OnCAS(acc.Addr, acc.Scope)
+	case core.AtomicExch:
+		a.lockTable(acc.Block, acc.Warp).OnExch(acc.Addr, acc.Scope)
+	case core.AtomicAcquire:
+		if a.acqrel {
+			// Mirror Detector.OnAcquire: consume the matching release's
+			// ordering — a fence at the acquire's scope.
+			a.ff.OnFence(acc.Block, acc.Warp, acc.Scope)
+			a.lockTable(acc.Block, acc.Warp).OnFence(acc.Scope)
+		}
+	}
+}
+
+// checkPairs runs the pair check of this access against every other
+// thread's read and write frames of the word.
+func (a *analysis) checkPairs(i int, op *tracefile.Op, t thread, cur core.Bloom, ws *wordState) {
+	acc := op.Access
+	isWrite := acc.Kind != core.KindLoad
+	for si := range ws.frames {
+		slot := &ws.frames[si]
+		if sameThread(slot.t, t) {
+			continue
+		}
+		for _, f := range []*frame{&slot.write, &slot.read} {
+			if !f.used {
+				continue
+			}
+			if f.kind == core.KindLoad && !isWrite {
+				continue // read-read pairs never conflict
+			}
+			if kind, raced := a.pairCheck(f, op, t, cur, ws); raced {
+				a.report(kind, f, i, op, t, cur, ws)
+			}
+		}
+	}
+}
+
+// pairCheck decides whether the pair (f, current access) is ordered by
+// the partial order, mirroring the detector's decision tree (Tables III
+// and IV) evaluated on the pair's own scoped epochs.
+func (a *analysis) pairCheck(f *frame, op *tracefile.Op, t thread, cur core.Bloom, ws *wordState) (core.RaceKind, bool) {
+	acc := op.Access
+	sameBlock := f.t.block == t.block
+
+	// Barrier-phase edge: every warp of a block participates in every
+	// barrier, so same-block accesses in different phases are ordered in
+	// every legal schedule (Table III (c), per-pair and wrap-free).
+	if sameBlock && f.phase != a.phases[t.block] {
+		return 0, false
+	}
+
+	// Previous access was an atomic: atomics synchronize at their scope,
+	// so the only hazard is insufficient scope — Table IV (d).
+	if f.kind == core.KindAtomic {
+		if f.scope == core.ScopeBlock && !sameBlock {
+			return core.RaceScopedAtomic, true
+		}
+		return 0, false
+	}
+
+	// Lockset path — Table IV (e)/(f): triggered when either side carries
+	// lock evidence. The blooms are built by the same core.LockTable the
+	// detector uses, so suppression is bit-compatible.
+	if !cur.Empty() || !f.bloom.Empty() {
+		if !cur.Intersects(f.bloom) {
+			if acc.Kind == core.KindLoad {
+				return core.RaceMissingLockLoad, true
+			}
+			return core.RaceMissingLockStore, true
+		}
+		return 0, false // common lock protects the pair
+	}
+
+	// Happens-before path — Table IV (a)/(b)/(c): has the previous
+	// thread's warp fenced (at sufficient scope) since the access?
+	ffBlk, ffDev := a.ff.Get(f.t.block, f.t.warp)
+	if sameBlock {
+		if f.blkFence == ffBlk && f.devFence == ffDev {
+			if a.its && f.diverged && acc.Diverged {
+				return core.RaceDivergedWarp, true
+			}
+			return core.RaceMissingBlockFence, true
+		}
+	} else if f.devFence == ffDev {
+		return core.RaceMissingDeviceFence, true
+	}
+	// A fence exists, but fences only order strong operations. The sticky
+	// word flag mirrors the metadata entry's Strong bit.
+	if !ws.allStrong || !acc.Strong {
+		return core.RaceNotStrong, true
+	}
+	return 0, false
+}
+
+// updateFrames records this access as its thread's latest read or write
+// of the word and folds its strength into the word's sticky flag.
+func (a *analysis) updateFrames(i int, op *tracefile.Op, t thread, cur core.Bloom, ws *wordState) {
+	acc := op.Access
+	blkF, devF := a.ff.Get(acc.Block, acc.Warp)
+	nf := frame{
+		used:     true,
+		op:       i,
+		t:        t,
+		kind:     acc.Kind,
+		scope:    acc.Scope,
+		strong:   acc.Strong,
+		site:     acc.Site,
+		cycle:    acc.Cycle,
+		phase:    a.phases[t.block],
+		blkFence: blkF,
+		devFence: devF,
+		bloom:    cur,
+		diverged: acc.Diverged,
+	}
+	slot := ws.slot(t)
+	if acc.Kind == core.KindLoad {
+		slot.read = nf
+	} else {
+		slot.write = nf
+	}
+	if !acc.Strong {
+		ws.allStrong = false
+	}
+	ws.initialized = true
+}
+
+// report folds one unordered pair into the deduped prediction set,
+// mirroring the detector's (kind, word, site) record identity.
+func (a *analysis) report(kind core.RaceKind, f *frame, i int, op *tracefile.Op, t thread, cur core.Bloom, ws *wordState) {
+	acc := op.Access
+	wordAddr := acc.Addr / mem.WordBytes * mem.WordBytes
+	key := recordKey{kind: kind, addr: wordAddr, site: acc.Site}
+	if pi, ok := a.index[key]; ok {
+		a.res.Predictions[pi].Record.Count++
+		return
+	}
+	sameBlock := f.t.block == t.block
+	ffBlk, ffDev := a.ff.Get(f.t.block, f.t.warp)
+	alloc := ""
+	if al, ok := a.mm.Locate(mem.Addr(wordAddr)); ok {
+		alloc = al.Name
+	}
+	a.index[key] = len(a.res.Predictions)
+	a.res.Predictions = append(a.res.Predictions, Prediction{
+		Record: core.Record{
+			Kind:      kind,
+			Addr:      wordAddr,
+			SameBlock: sameBlock,
+			PrevBlock: f.t.block,
+			PrevWarp:  f.t.warp,
+			CurBlock:  t.block,
+			CurWarp:   t.warp,
+			Site:      acc.Site,
+			Cycle:     acc.Cycle,
+			Count:     1,
+		},
+		Alloc: alloc,
+		Witness: Witness{
+			Prev:          f.op,
+			Cur:           i,
+			Kind:          kind,
+			Word:          wordAddr,
+			SameBlock:     sameBlock,
+			PrevPhase:     f.phase,
+			CurPhase:      a.phases[t.block],
+			PrevBlkFence:  f.blkFence,
+			PrevDevFence:  f.devFence,
+			BlkFenceNow:   ffBlk,
+			DevFenceNow:   ffDev,
+			PrevBloom:     uint16(f.bloom),
+			CurBloom:      uint16(cur),
+			WordAllStrong: ws.allStrong,
+			CurStrong:     acc.Strong,
+		},
+	})
+}
+
+func (a *analysis) finish() *Result {
+	res := a.res
+	res.Mem = a.mm
+	sort.SliceStable(res.Predictions, func(i, j int) bool {
+		wi, wj := res.Predictions[i].Witness, res.Predictions[j].Witness
+		if wi.Cur != wj.Cur {
+			return wi.Cur < wj.Cur
+		}
+		return wi.Prev < wj.Prev
+	})
+	return res
+}
+
+// Tuple is a predicted race at the granularity the differential gates
+// compare: which allocation, which Table IV kind.
+type Tuple struct {
+	Alloc string
+	Kind  core.RaceKind
+}
+
+func (t Tuple) String() string { return fmt.Sprintf("%s/%s", t.Alloc, t.Kind) }
+
+// Tuples returns the deduplicated (allocation, kind) set of the
+// predictions, sorted.
+func (r *Result) Tuples() []Tuple {
+	set := make(map[Tuple]bool)
+	for _, p := range r.Predictions {
+		set[Tuple{Alloc: p.Alloc, Kind: p.Record.Kind}] = true
+	}
+	out := make([]Tuple, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Alloc != out[j].Alloc {
+			return out[i].Alloc < out[j].Alloc
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Covers reports whether some prediction matches the given allocation and
+// race kind.
+func (r *Result) Covers(alloc string, kind core.RaceKind) bool {
+	for _, p := range r.Predictions {
+		if p.Alloc == alloc && p.Record.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package predict
+
+import (
+	"io"
+
+	"fmt"
+
+	"scord/internal/core"
+	"scord/internal/replay"
+)
+
+// DetectorName labels predictive results in shared renderings.
+const DetectorName = "Predict"
+
+// AsReplayResult shapes the predictions as a replay.Result so they render
+// through the same WriteText/DescribeRecord path as dynamic replays —
+// the outputs are line-diffable against each other.
+func (r *Result) AsReplayResult() *replay.Result {
+	races := make([]core.Record, len(r.Predictions))
+	for i, p := range r.Predictions {
+		races[i] = p.Record
+	}
+	return &replay.Result{
+		Header:   r.Header,
+		Detector: DetectorName,
+		Races:    races,
+		Ops:      r.Ops,
+		Accesses: r.Accesses,
+		Kernels:  r.Kernels,
+		Mem:      r.Mem,
+	}
+}
+
+// WriteText renders the predictions in the canonical replay text form,
+// followed by one deterministic witness line per prediction.
+func (r *Result) WriteText(w io.Writer) {
+	r.AsReplayResult().WriteText(w)
+	for _, p := range r.Predictions {
+		fmt.Fprintf(w, "   witness %s\n", p.Witness)
+	}
+}

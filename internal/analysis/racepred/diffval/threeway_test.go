@@ -1,0 +1,55 @@
+package diffval_test
+
+import (
+	"testing"
+
+	"scord/internal/analysis/racepred/diffval"
+)
+
+// TestThreeWay is the three-oracle cross-validation gate: the dynamic
+// detector, the static predictor (racepred) and the trace-predictive
+// analysis (predict) are run over the whole suite — every app,
+// injection, micro and extension scenario — with each execution recorded
+// so the predictive analysis sees the exact schedule the detector
+// judged. The gate demands:
+//
+//   - recall 1.0: every dynamically observed race tuple is predicted
+//     from its own trace;
+//   - every predicted tuple is confirmed by the dynamic detector (on the
+//     recorded schedule or on a PerturbTarget witness schedule) or
+//     carries a reviewed predict.Justified entry, with stale entries
+//     failing the build;
+//   - the agreement matrix vs racepred is reported (and published in
+//     EXPERIMENTS.md).
+func TestThreeWay(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-threaded simulations already race-tested by the suite tests")
+	}
+	rep, err := diffval.RunThreeWay("../../../..")
+	if err != nil {
+		t.Fatalf("diffval.RunThreeWay: %v", err)
+	}
+	if len(rep.Observed) < 30 {
+		t.Fatalf("dynamic side looks broken: only %d observed race tuples", len(rep.Observed))
+	}
+	if r := rep.Recall(); r != 1.0 {
+		t.Errorf("predictive recall %.3f, want 1.0", r)
+	}
+	for _, m := range rep.Missed {
+		t.Errorf("recall miss: dynamic race %s not predicted from its own trace", m)
+	}
+	for _, key := range rep.Unjustified {
+		t.Errorf("unconfirmed prediction %s: no dynamic confirmation, no PerturbTarget witness schedule, no justification", key)
+	}
+	for _, key := range rep.Stale {
+		t.Errorf("stale justification: %q matches no unconfirmed prediction", key)
+	}
+	t.Logf("threeway: %d runs, %d observed, %d predicted (%d observed-confirmed, %d perturb-confirmed, %d justified)",
+		rep.Runs, len(rep.Observed), len(rep.Predicted),
+		rep.ConfirmedObserved, rep.ConfirmedPerturbed, rep.JustifiedCount)
+	t.Logf("threeway agreement vs racepred (bench/alloc): both %d, predict-only %d, racepred-only %d",
+		rep.AgreeBoth, rep.PredictOnly, rep.RacepredOnly)
+	for _, ws := range rep.Workloads {
+		t.Logf("  %-28s observed %2d  predicted %2d  racepred %2d", ws.Bench, ws.Observed, ws.Predicted, ws.Racepred)
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"scord/internal/analysis/predict"
+	"scord/internal/mem"
+	"scord/internal/replay"
+	"scord/internal/scor/micro"
+	"scord/internal/tracefile"
+)
+
+// This file runs the predictive analysis (internal/analysis/predict)
+// over a recorded micro corpus on the harness worker pool: each micro's
+// trace is decoded once, replayed through the real detector for the
+// dynamically observed tuple set, and analyzed predictively. The
+// assembled table is index-ordered, so the rendering is byte-identical
+// at any Jobs value.
+
+// PredictRow is one micro's predicted-vs-observed outcome.
+type PredictRow struct {
+	Name string
+	// Observed and Predicted count (alloc, kind) race tuples from the
+	// dynamic replay and the predictive analysis of the same trace.
+	Observed, Predicted int
+	// Recall reports whether every observed tuple was predicted — the
+	// soundness gate, per trace.
+	Recall bool
+	// Missed lists observed tuples not predicted (empty when Recall).
+	Missed []string
+}
+
+// PredictTable is the per-micro prediction matrix.
+type PredictTable struct {
+	Rows []PredictRow
+}
+
+// WriteText renders the table deterministically.
+func (t *PredictTable) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-40s %9s %9s  %s\n", "micro", "observed", "predicted", "recall")
+	for _, r := range t.Rows {
+		verdict := "ok"
+		if !r.Recall {
+			verdict = "MISS"
+		}
+		fmt.Fprintf(w, "%-40s %9d %9d  %s\n", r.Name, r.Observed, r.Predicted, verdict)
+		for _, m := range r.Missed {
+			fmt.Fprintf(w, "    missed %s\n", m)
+		}
+	}
+}
+
+// predictOne analyzes one recorded trace: dynamic tuples via a ScoRD
+// replay, predicted tuples via the predictive analysis.
+func predictOne(path string) (PredictRow, error) {
+	var row PredictRow
+	f, err := os.Open(path)
+	if err != nil {
+		return row, err
+	}
+	defer f.Close()
+	tr, err := tracefile.NewReader(f)
+	if err != nil {
+		return row, err
+	}
+	h := tr.Header()
+	row.Name = h.Benchmark
+	ops, err := replay.ReadAll(tr)
+	if err != nil {
+		return row, err
+	}
+	sc, err := replay.NewScoRD(h.Config)
+	if err != nil {
+		return row, err
+	}
+	dyn, err := replay.RunOps(h, ops, sc)
+	if err != nil {
+		return row, err
+	}
+	observed := map[predict.Tuple]bool{}
+	for _, rec := range dyn.Races {
+		if al, ok := dyn.Mem.Locate(mem.Addr(rec.Addr)); ok {
+			observed[predict.Tuple{Alloc: al.Name, Kind: rec.Kind}] = true
+		}
+	}
+	res, err := predict.Run(h, ops, predict.Options{})
+	if err != nil {
+		return row, err
+	}
+	row.Observed = len(observed)
+	row.Predicted = len(res.Tuples())
+	row.Recall = true
+	for tu := range observed {
+		if !res.Covers(tu.Alloc, tu.Kind) {
+			row.Recall = false
+			row.Missed = append(row.Missed, tu.String())
+		}
+	}
+	sort.Strings(row.Missed)
+	return row, nil
+}
+
+// RunPredictMicros analyzes a recorded micro corpus (RecordMicros)
+// predictively across the worker pool and assembles the per-micro
+// prediction matrix in corpus order.
+func RunPredictMicros(opt Options, dir string) (*PredictTable, error) {
+	micros := micro.All()
+	rows := make([]PredictRow, len(micros))
+	var sims []Sim
+	for mi := range micros {
+		mi := mi
+		name := micros[mi].Name()
+		sims = append(sims, Sim{
+			Label: "predict/" + name,
+			Run: func() error {
+				row, err := predictOne(MicroTracePath(dir, name))
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				rows[mi] = row
+				return nil
+			},
+		})
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+	return &PredictTable{Rows: rows}, nil
+}
+
+// RunPredictRecordMicros is the end-to-end pipeline: record the micro
+// corpus into dir (a temporary directory when empty, removed
+// afterwards), then analyze it into the prediction matrix.
+func RunPredictRecordMicros(opt Options, dir string) (*PredictTable, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "scord-traces-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := RecordMicros(opt, dir); err != nil {
+		return nil, err
+	}
+	return RunPredictMicros(opt, dir)
+}

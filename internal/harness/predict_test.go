@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPredictMicros is the per-micro prediction gate: record the corpus
+// once, then assert (a) the predicted race set is a superset of the
+// dynamic detector's observed tuples for every micro, and (b) the
+// rendered matrix is byte-identical across worker counts.
+func TestPredictMicros(t *testing.T) {
+	if raceEnabled {
+		t.Skip("records and analyzes the whole micro corpus; suite tests carry the -race coverage")
+	}
+	dir := t.TempDir()
+	if err := RecordMicros(Options{Jobs: 2}, dir); err != nil {
+		t.Fatalf("RecordMicros: %v", err)
+	}
+	seq, err := RunPredictMicros(Options{Jobs: 1}, dir)
+	if err != nil {
+		t.Fatalf("RunPredictMicros (jobs=1): %v", err)
+	}
+	par, err := RunPredictMicros(Options{Jobs: 4}, dir)
+	if err != nil {
+		t.Fatalf("RunPredictMicros (jobs=4): %v", err)
+	}
+	var sb, pb strings.Builder
+	seq.WriteText(&sb)
+	par.WriteText(&pb)
+	if sb.String() != pb.String() {
+		t.Errorf("prediction matrix differs across -jobs:\njobs=1:\n%s\njobs=4:\n%s", sb.String(), pb.String())
+	}
+	if len(seq.Rows) == 0 {
+		t.Fatalf("empty prediction matrix")
+	}
+	for _, row := range seq.Rows {
+		if !row.Recall {
+			t.Errorf("%s: observed tuples missed by the predictor: %v", row.Name, row.Missed)
+		}
+		if row.Predicted < row.Observed {
+			t.Errorf("%s: predicted %d tuples < observed %d", row.Name, row.Predicted, row.Observed)
+		}
+	}
+}

@@ -173,3 +173,155 @@ func TestPerturbWithinStaticPredictions(t *testing.T) {
 		})
 	}
 }
+
+// TestPerturbTarget checks the targeted mode: the returned schedule is a
+// legal permutation (per-warp program order intact, non-access ops
+// pinned), the reported indices hold the original pair ops, and when
+// adjacency is reported the pair really is adjacent.
+func TestPerturbTarget(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	bench := &scor.Conv1D{N: 1024, Taps: 9, Blocks: 4, TPB: 64}
+	_, ops := recordOps(t, bench, cfg)
+
+	// Find a cross-warp access pair with room between the two ops and no
+	// intervening non-access op, so adjacency must be reachable.
+	pick := func() (int, int) {
+		for i := range ops {
+			if ops[i].Kind != tracefile.OpAccess {
+				continue
+			}
+			for j := i + 4; j < len(ops) && j < i+40; j++ {
+				if ops[j].Kind != tracefile.OpAccess {
+					break
+				}
+				a, b := ops[i].Access, ops[j].Access
+				if a.Block == b.Block && a.Warp == b.Warp {
+					continue
+				}
+				clear := true
+				for k := i + 1; k < j; k++ {
+					if ops[k].Kind != tracefile.OpAccess {
+						clear = false
+						break
+					}
+				}
+				if clear {
+					return i, j
+				}
+			}
+		}
+		t.Fatal("no suitable access pair found")
+		return 0, 0
+	}
+	i, j := pick()
+
+	out, ni, nj, ok := replay.PerturbTarget(ops, i, j)
+	if !ok {
+		t.Fatalf("adjacency not reached for clear pair (%d, %d)", i, j)
+	}
+	if nj != ni+1 {
+		t.Fatalf("reported indices not adjacent: %d, %d", ni, nj)
+	}
+	if !reflect.DeepEqual(out[ni], ops[i]) || !reflect.DeepEqual(out[nj], ops[j]) {
+		t.Fatal("reported indices do not hold the original pair ops")
+	}
+
+	// Same structural invariants as Perturb.
+	count := func(s []tracefile.Op) map[string]int {
+		c := map[string]int{}
+		for _, op := range s {
+			c[fmt.Sprintf("%+v", op)]++
+		}
+		return c
+	}
+	if !reflect.DeepEqual(count(ops), count(out)) {
+		t.Fatal("targeted perturbation is not a permutation of the original")
+	}
+	warpSeq := func(s []tracefile.Op) map[[2]int][]core.Access {
+		seq := map[[2]int][]core.Access{}
+		for _, op := range s {
+			if op.Kind == tracefile.OpAccess {
+				k := [2]int{op.Access.Block, op.Access.Warp}
+				seq[k] = append(seq[k], op.Access)
+			}
+		}
+		return seq
+	}
+	if !reflect.DeepEqual(warpSeq(ops), warpSeq(out)) {
+		t.Fatal("per-warp program order changed")
+	}
+
+	// Determinism and input immutability.
+	out2, ni2, nj2, ok2 := replay.PerturbTarget(ops, i, j)
+	if !ok2 || ni2 != ni || nj2 != nj || !reflect.DeepEqual(out, out2) {
+		t.Fatal("PerturbTarget is not deterministic")
+	}
+}
+
+// TestPerturbTargetBlocked: a pair separated by a fence op cannot be
+// made adjacent, and the attempt still returns a legal permutation.
+func TestPerturbTargetBlocked(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	var bench scor.Benchmark
+	for _, m := range micro.All() {
+		if m.Name() == "fence.ok.cross-device-fence" {
+			bench = m
+		}
+	}
+	if bench == nil {
+		t.Fatal("micro not found")
+	}
+	_, ops := recordOps(t, bench, cfg)
+
+	// Pick accesses straddling a fence op.
+	fence := -1
+	for k, op := range ops {
+		if op.Kind == tracefile.OpFence {
+			fence = k
+			break
+		}
+	}
+	if fence < 0 {
+		t.Fatal("no fence in trace")
+	}
+	i, j := -1, -1
+	for k := fence - 1; k >= 0; k-- {
+		if ops[k].Kind == tracefile.OpAccess {
+			i = k
+			break
+		}
+	}
+	for k := fence + 1; k < len(ops); k++ {
+		if ops[k].Kind == tracefile.OpAccess && i >= 0 &&
+			(ops[k].Access.Block != ops[i].Access.Block || ops[k].Access.Warp != ops[i].Access.Warp) {
+			j = k
+			break
+		}
+	}
+	if i < 0 || j < 0 {
+		t.Skip("no cross-warp pair straddles the fence")
+	}
+	out, ni, nj, ok := replay.PerturbTarget(ops, i, j)
+	if ok {
+		t.Fatalf("pair (%d, %d) straddling the fence at %d reported adjacent", i, j, fence)
+	}
+	if nj <= ni {
+		t.Fatalf("indices out of order: %d, %d", ni, nj)
+	}
+	if len(out) != len(ops) {
+		t.Fatalf("length changed: %d -> %d", len(ops), len(out))
+	}
+}
+
+// TestPerturbTargetInvalidArgs: out-of-range or inverted pairs are
+// rejected.
+func TestPerturbTargetInvalidArgs(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	bench := &scor.Conv1D{N: 256, Taps: 5, Blocks: 2, TPB: 32}
+	_, ops := recordOps(t, bench, cfg)
+	for _, c := range [][2]int{{-1, 5}, {5, 5}, {7, 3}, {0, len(ops)}} {
+		if _, _, _, ok := replay.PerturbTarget(ops, c[0], c[1]); ok {
+			t.Errorf("PerturbTarget(%d, %d) unexpectedly ok", c[0], c[1])
+		}
+	}
+}
