@@ -97,6 +97,7 @@ commands:
   dump     print a trace's header and ops in human-readable form
   replay   run detector models over a recorded trace
   predict  soundly predict races reachable from a recorded trace
+  repair   synthesize and verify a minimal-cost fix for a racy trace
   table8   record the micro corpus and regenerate Table VIII from it
 
 run 'scord-replay <command> -h' for the command's flags
@@ -117,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runReplay(args[1:], stdout, stderr)
 	case "predict":
 		return runPredict(args[1:], stdout, stderr)
+	case "repair":
+		return runRepair(args[1:], stdout, stderr)
 	case "table8":
 		return runTable8(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":

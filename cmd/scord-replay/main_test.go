@@ -171,3 +171,66 @@ func TestPredictRejectsCorruptTrace(t *testing.T) {
 		t.Fatal("predicting over a truncated trace unexpectedly succeeded")
 	}
 }
+
+// TestRepairSubcommand drives the repair CLI end to end: record a racey
+// micro at the scord detector mode, repair it (text and JSON), and check
+// a race-free trace reports nothing to repair.
+func TestRepairSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "racey.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "atom.racey.block-cross", "-mode", "scord", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"repair", path}, &out, &errOut); code != 0 {
+		t.Fatalf("repair: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"repaired m.data/scoped-atomic",
+		"promote-scope",
+		"replay-clean=true",
+		"perturb-clean=true",
+		"fully repaired",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("repair output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"repair", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("repair -json: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	js := out.String()
+	for _, want := range []string{`"fully_repaired": true`, `"kind": "promote-scope"`, `"replay_clean": true`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("repair -json missing %q:\n%s", want, js)
+		}
+	}
+
+	clean := filepath.Join(t.TempDir(), "clean.sctr")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"record", "-bench", "fence.ok.cross-device-fence", "-mode", "scord", "-o", clean}, &out, &errOut); code != 0 {
+		t.Fatalf("record clean: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"repair", clean}, &out, &errOut); code != 0 {
+		t.Fatalf("repair clean: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no confirmed races") {
+		t.Errorf("repair of race-free trace:\n%s", out.String())
+	}
+
+	// -min-repaired is a suite-only gate.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"repair", "-min-repaired", "1", path}, &out, &errOut); code != 2 {
+		t.Fatalf("repair -min-repaired without -suite: exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,62 @@
+// Package fix defines the shared vocabulary of scoped-race fixes: the
+// edit kinds the repair synthesizer (internal/analysis/repair) searches
+// and the lint suite (scopelint) suggests. Keeping the vocabulary in one
+// dependency-free package lets the go/analysis-style framework attach a
+// machine-readable suggested fix to a finding without importing either
+// producer, and guarantees a lint suggestion names exactly the edit the
+// repair pass would synthesize for the same bug shape.
+package fix
+
+// Kind is one edit kind of the repair lattice, ordered by cost: the
+// repair synthesizer tries kinds in this order and accepts the first
+// verified candidate, so earlier kinds are the cheaper, more local
+// edits (GPURepair's observation: the GPU repair space is small and a
+// scope promotion is cheaper than a barrier).
+type Kind string
+
+const (
+	// PromoteScope widens a block-scope atomic (and, for lock words, the
+	// acquire/release fences of its lock protocol) to device scope.
+	PromoteScope Kind = "promote-scope"
+	// StrengthenFence widens existing explicit block-scope fences to
+	// device scope.
+	StrengthenFence Kind = "strengthen-fence"
+	// InsertFence inserts a new fence after the racing writes (or, for
+	// lock-discipline races, after each lock acquire).
+	InsertFence Kind = "insert-fence"
+	// InsertBarrier inserts a block-wide barrier between the racing
+	// program points of one threadblock.
+	InsertBarrier Kind = "insert-barrier"
+	// DemoteAtomic demotes the weak (plain) accesses of an allocation to
+	// device-scope atomics — the most expensive, always-ordered edit.
+	DemoteAtomic Kind = "demote-atomic"
+)
+
+// Kinds lists every edit kind in increasing cost order.
+func Kinds() []Kind {
+	return []Kind{PromoteScope, StrengthenFence, InsertFence, InsertBarrier, DemoteAtomic}
+}
+
+// Cost is the kind's base cost rank (1 = cheapest). Unknown kinds rank
+// after every known one.
+func (k Kind) Cost() int {
+	for i, kk := range Kinds() {
+		if k == kk {
+			return i + 1
+		}
+	}
+	return len(Kinds()) + 1
+}
+
+// Fix is one machine-readable suggested edit, attached to lint findings
+// and repair outcomes alike.
+type Fix struct {
+	// Kind is the edit kind.
+	Kind Kind `json:"kind"`
+	// Site locates the edit: the kernel's c.Site label when one is
+	// recorded, else a file:line source position.
+	Site string `json:"site"`
+	// Detail is a human-readable rendering of the concrete edit, e.g.
+	// "AtomicAdd ScopeBlock -> ScopeDevice".
+	Detail string `json:"detail,omitempty"`
+}

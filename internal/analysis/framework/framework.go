@@ -17,6 +17,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"scord/internal/analysis/fix"
 )
 
 // Analyzer describes one static check, mirroring analysis.Analyzer.
@@ -63,6 +65,9 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Category string // sub-check name, e.g. "crossblock"; may be empty
 	Message  string
+	// Fix, when non-nil, is the machine-readable suggested edit for the
+	// finding, in the shared repair vocabulary (internal/analysis/fix).
+	Fix *fix.Fix
 }
 
 // Finding is a resolved diagnostic as emitted by the driver: the position
@@ -74,6 +79,9 @@ type Finding struct {
 	Position token.Position `json:"-"`
 	Pos      string         `json:"pos"` // "file:line:col"
 	Message  string         `json:"message"`
+	// Fix carries the analyzer's suggested edit, when it proposed one,
+	// in the shared repair vocabulary.
+	Fix *fix.Fix `json:"fix,omitempty"`
 }
 
 func (f Finding) String() string {

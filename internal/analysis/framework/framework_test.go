@@ -125,6 +125,87 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// badFuncsNamed is badFuncs under a different analyzer name, so two
+// analyzers can flag the same declaration.
+func badFuncsNamed(name string) *Analyzer {
+	return &Analyzer{Name: name, Doc: badFuncs.Doc, Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "cat", "%s found %s", name, fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	}}
+}
+
+const multiAnalyzerSrc = `package p
+
+func BadBoth() {} //scord:allow(alpha/cat) alpha reason scord:allow(beta/cat) beta reason
+
+func BadOnlyAlpha() {} //scord:allow(alpha) alpha reason
+
+func BadStaleBeta() {} //scord:allow(alpha/cat) ok scord:allow(beta/othercat) never matches
+`
+
+// TestSuppressionPerAnalyzer is the regression test for per-analyzer
+// directive anchoring: two analyzers flag the same line, and one comment
+// carrying one directive per analyzer (each with its own reason)
+// suppresses both. A directive must match by its own analyzer name, not
+// by owning the comment's line prefix, and staleness is tracked per
+// directive.
+func TestSuppressionPerAnalyzer(t *testing.T) {
+	pkg := parsePkg(t, multiAnalyzerSrc)
+	alpha, beta := badFuncsNamed("alpha"), badFuncsNamed("beta")
+	findings, stale, err := RunAnalyzersChecked([]*Package{pkg}, []*Analyzer{alpha, beta})
+	if err != nil {
+		t.Fatalf("RunAnalyzersChecked: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	// BadBoth: both directives match, both analyzers suppressed.
+	// BadOnlyAlpha: only alpha suppressed; beta's finding survives.
+	// BadStaleBeta: alpha suppressed; beta's directive names the wrong
+	// category, so beta's finding survives and the directive is stale.
+	want := []string{"beta found BadOnlyAlpha", "beta found BadStaleBeta"}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "beta/othercat") {
+		t.Errorf("stale = %+v, want exactly the beta/othercat directive", stale)
+	}
+}
+
+// TestSuppressionProseMention pins that a comment merely mentioning the
+// //scord:allow(...) syntax mid-prose is not a directive: only comments
+// that begin with a directive are scanned for directives at all.
+func TestSuppressionProseMention(t *testing.T) {
+	src := `package p
+
+// This helper documents the scord:allow(alpha/cat) syntax in prose.
+func BadDocumented() {}
+`
+	pkg := parsePkg(t, src)
+	findings, stale, err := RunAnalyzersChecked([]*Package{pkg}, []*Analyzer{badFuncsNamed("alpha")})
+	if err != nil {
+		t.Fatalf("RunAnalyzersChecked: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Message != "alpha found BadDocumented" {
+		t.Errorf("findings = %+v, want the unsuppressed BadDocumented finding", findings)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale = %+v, want none (prose mention is not a directive)", stale)
+	}
+}
+
 // TestMatchGate checks that RunAnalyzers skips packages an analyzer's
 // Match rejects.
 func TestMatchGate(t *testing.T) {

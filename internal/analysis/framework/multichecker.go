@@ -18,9 +18,22 @@ import (
 // its own line and on the following line, so it can trail the flagged
 // statement or sit on its own line above it. The reason text is required
 // by convention (reviewed by humans), not enforced. Only comments whose
-// text begins with the directive count: prose that merely mentions
-// //scord:allow(...) syntax is not a suppression.
+// text begins with a directive count: prose that merely mentions
+// //scord:allow(...) syntax is not a suppression. Within a directive
+// comment every scord:allow(...) occurrence is honored, so two analyzers
+// flagging one line can each carry their own directive and reason:
+//
+//	x := f() //scord:allow(alpha/a) why A is fine scord:allow(beta/b) why B is fine
+//
+// Matching is anchored per analyzer name, never per line prefix: each
+// parenthesized name list is split and matched against the finding's
+// analyzer (or analyzer/category) individually, and staleness is tracked
+// per name.
 var allowRE = regexp.MustCompile(`^//\s*scord:allow\(([^)]+)\)`)
+
+// allowAllRE finds every directive occurrence inside a comment that
+// allowRE has already identified as a directive comment.
+var allowAllRE = regexp.MustCompile(`scord:allow\(([^)]+)\)`)
 
 // allowDirective is one suppression name from one //scord:allow comment,
 // tracking whether it suppressed anything.
@@ -42,18 +55,19 @@ func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+				if !allowRE.MatchString(c.Text) {
+					continue // not a directive comment (prose mention at most)
 				}
 				pos := fset.Position(c.Slash)
 				if as.byLine[pos.Filename] == nil {
 					as.byLine[pos.Filename] = map[int][]*allowDirective{}
 				}
-				for _, name := range strings.Split(m[1], ",") {
-					d := &allowDirective{name: strings.TrimSpace(name), pos: pos}
-					as.byLine[pos.Filename][pos.Line] = append(as.byLine[pos.Filename][pos.Line], d)
-					as.all = append(as.all, d)
+				for _, m := range allowAllRE.FindAllStringSubmatch(c.Text, -1) {
+					for _, name := range strings.Split(m[1], ",") {
+						d := &allowDirective{name: strings.TrimSpace(name), pos: pos}
+						as.byLine[pos.Filename][pos.Line] = append(as.byLine[pos.Filename][pos.Line], d)
+						as.all = append(as.all, d)
+					}
 				}
 			}
 		}
@@ -141,6 +155,7 @@ func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Finding,
 					Position: pos,
 					Pos:      pos.String(),
 					Message:  d.Message,
+					Fix:      d.Fix,
 				}
 				if !allows.suppressed(f) {
 					findings = append(findings, f)

@@ -1,0 +1,90 @@
+package racepred
+
+import (
+	"sort"
+
+	"scord/internal/analysis/dataflow"
+	"scord/internal/analysis/framework"
+)
+
+// Analysis retains the kernel roots discovered by one abstract
+// interpretation of the suite, so prediction can be re-run — whole, per
+// benchmark, or against patched abstract traces — without reloading or
+// re-interpreting the packages. The retained roots and their traces are
+// shared and read-only: classification only reads them, so one Analysis
+// may serve many goroutines concurrently (the repair synthesizer runs
+// its static oracle from worker-pool jobs).
+type Analysis struct {
+	roots []*root
+}
+
+// Analyze interprets every kernel launch of the loaded benchmark
+// packages once and retains the results for repeated prediction.
+func Analyze(pkgs []*framework.Package) (*Analysis, error) {
+	w := dataflow.NewWorld(pkgs...)
+	roots, err := discoverRoots(w, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{roots: roots}, nil
+}
+
+// Predict classifies every retained root, matching the package-level
+// Predict exactly.
+func (a *Analysis) Predict() []Prediction {
+	col := newCollector()
+	for _, rt := range a.roots {
+		classifyRoot(col, rt)
+	}
+	return col.list()
+}
+
+// Benches lists the distinct benchmark names with at least one root,
+// sorted.
+func (a *Analysis) Benches() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rt := range a.roots {
+		if !seen[rt.bench] {
+			seen[rt.bench] = true
+			out = append(out, rt.bench)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PredictBench classifies only the roots of one benchmark.
+func (a *Analysis) PredictBench(bench string) []Prediction {
+	return a.PredictPatched(bench, nil)
+}
+
+// PredictPatched re-classifies the roots of one benchmark after mapping
+// each abstract trace through patch. patch must be copy-on-write — it
+// returns a fresh Result (or nil to keep the original) and must not
+// mutate its argument, because the retained traces are shared across
+// callers. This is the repair synthesizer's static oracle: apply a
+// candidate edit abstractly, re-predict, and check the target race died
+// without new predictions appearing.
+func (a *Analysis) PredictPatched(bench string, patch func(*dataflow.Result) *dataflow.Result) []Prediction {
+	col := newCollector()
+	for _, rt := range a.roots {
+		if rt.bench != bench {
+			continue
+		}
+		use := rt
+		if patch != nil {
+			prt := &root{bench: rt.bench, rels: rt.rels, cross: rt.cross}
+			for _, tr := range rt.traces {
+				if p := patch(tr); p != nil {
+					prt.traces = append(prt.traces, p)
+				} else {
+					prt.traces = append(prt.traces, tr)
+				}
+			}
+			use = prt
+		}
+		classifyRoot(col, use)
+	}
+	return col.list()
+}

@@ -16,7 +16,6 @@ import (
 	"sort"
 	"strings"
 
-	"scord/internal/analysis/dataflow"
 	"scord/internal/analysis/framework"
 	"scord/internal/core"
 )
@@ -39,18 +38,15 @@ type Prediction struct {
 }
 
 // Predict analyzes the loaded benchmark packages and returns the
-// predicted races sorted by (Bench, Alloc).
+// predicted races sorted by (Bench, Alloc). Callers that re-predict
+// (per bench, or against patched traces) should use Analyze and keep
+// the Analysis instead.
 func Predict(pkgs []*framework.Package) ([]Prediction, error) {
-	w := dataflow.NewWorld(pkgs...)
-	roots, err := discoverRoots(w, pkgs)
+	a, err := Analyze(pkgs)
 	if err != nil {
 		return nil, err
 	}
-	col := newCollector()
-	for _, rt := range roots {
-		classifyRoot(col, rt)
-	}
-	return col.list(), nil
+	return a.Predict(), nil
 }
 
 // collector merges per-pair emissions into (bench, alloc) predictions.

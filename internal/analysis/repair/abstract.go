@@ -1,0 +1,343 @@
+package repair
+
+import (
+	"scord/internal/analysis/dataflow"
+	"scord/internal/analysis/fix"
+	"scord/internal/core"
+)
+
+// This file applies an Edit to the abstract op traces the static
+// predictor (racepred) classifies, so a candidate can be re-predicted
+// without re-interpreting the kernel. Patching is strictly
+// copy-on-write: racepred.Analysis shares its traces across callers, so
+// every op (and every LockInfo reachable from one) the edit changes is
+// cloned first and the original is never written.
+
+// AbstractPatcher returns the copy-on-write trace patch for the edit,
+// in the shape racepred.Analysis.PredictPatched consumes. A nil return
+// from the patcher keeps the original trace (edit touches nothing
+// there).
+func AbstractPatcher(e Edit) func(*dataflow.Result) *dataflow.Result {
+	switch e.Kind {
+	case fix.PromoteScope:
+		return func(tr *dataflow.Result) *dataflow.Result { return promoteAbstract(e, tr) }
+	case fix.StrengthenFence:
+		return func(tr *dataflow.Result) *dataflow.Result { return strengthenAbstract(tr) }
+	case fix.InsertFence:
+		return func(tr *dataflow.Result) *dataflow.Result { return insertFenceAbstract(e, tr) }
+	case fix.InsertBarrier:
+		return func(tr *dataflow.Result) *dataflow.Result { return insertBarrierAbstract(e, tr) }
+	case fix.DemoteAtomic:
+		return func(tr *dataflow.Result) *dataflow.Result { return demoteAbstract(e, tr) }
+	default:
+		return func(*dataflow.Result) *dataflow.Result { return nil }
+	}
+}
+
+// opTargets reports whether the op's address may point into the named
+// allocation.
+func opTargets(op *dataflow.Op, alloc string) bool {
+	for _, b := range dataflow.AllocBases(op.Addr.CommonBases(op.Addr)) {
+		if b == alloc {
+			return true
+		}
+	}
+	return false
+}
+
+func lockTargets(l *dataflow.LockInfo, alloc string) bool {
+	for _, b := range dataflow.AllocBases(l.Addr.CommonBases(l.Addr)) {
+		if b == alloc {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneTrace shallow-clones the result and every op, so ops can be
+// edited freely; Locks slices still alias the original LockInfos until
+// rewriteLocks swaps in clones.
+func cloneTrace(tr *dataflow.Result) *dataflow.Result {
+	out := *tr
+	out.Trace = make([]*dataflow.Op, len(tr.Trace))
+	for i, op := range tr.Trace {
+		c := *op
+		out.Trace[i] = &c
+	}
+	return &out
+}
+
+// rewriteLocks replaces every LockInfo the clones map covers, in every
+// op of the trace, preserving shared-pointer identity among the clones
+// (ops of one critical section keep sharing one LockInfo).
+func rewriteLocks(tr *dataflow.Result, clones map[*dataflow.LockInfo]*dataflow.LockInfo) {
+	if len(clones) == 0 {
+		return
+	}
+	for _, op := range tr.Trace {
+		touched := false
+		for _, l := range op.Locks {
+			if clones[l] != nil {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		nl := make([]*dataflow.LockInfo, len(op.Locks))
+		for i, l := range op.Locks {
+			if c := clones[l]; c != nil {
+				nl[i] = c
+			} else {
+				nl[i] = l
+			}
+		}
+		op.Locks = nl
+	}
+}
+
+// lockClone fetches or creates the copy-on-write clone of a LockInfo.
+func lockClone(clones map[*dataflow.LockInfo]*dataflow.LockInfo, l *dataflow.LockInfo) *dataflow.LockInfo {
+	if c := clones[l]; c != nil {
+		return c
+	}
+	c := *l
+	clones[l] = &c
+	return &c
+}
+
+func widen(s dataflow.ScopeSet) dataflow.ScopeSet {
+	if s != 0 && s.MayBlock() {
+		return dataflow.ScopeDeviceBit
+	}
+	return s
+}
+
+// promoteAbstract widens block-scope atomics on the allocation to
+// device scope, together with the lock protocol built on them: the
+// protocol fence adjacent to a promoted CAS/Exch in program order, and
+// the scope attributes of every lock keyed on the allocation. Promoting
+// only the atomic would make the static lock diagnosis *worse* (a
+// device-reach lock word with block-reach fences), which the
+// no-new-predictions oracle would rightly veto.
+func promoteAbstract(e Edit, tr *dataflow.Result) *dataflow.Result {
+	touched := false
+	for _, op := range tr.Trace {
+		if op.Atomic() && op.Scope.MayBlock() && opTargets(op, e.Alloc) {
+			touched = true
+			break
+		}
+	}
+	var lockHit bool
+	for _, op := range tr.Trace {
+		for _, l := range op.Locks {
+			if lockTargets(l, e.Alloc) {
+				lockHit = true
+			}
+		}
+	}
+	if !touched && !lockHit {
+		return nil
+	}
+	out := cloneTrace(tr)
+	clones := map[*dataflow.LockInfo]*dataflow.LockInfo{}
+	for i, op := range out.Trace {
+		if !op.Atomic() || !op.Scope.MayBlock() || !opTargets(op, e.Alloc) {
+			continue
+		}
+		op.Scope = dataflow.ScopeDeviceBit
+		// Protocol fence: after a CAS (acquire), before an Exch (release).
+		if op.IsCAS && i+1 < len(out.Trace) {
+			if f := out.Trace[i+1]; f.Kind == dataflow.OpFence && f.Scope.MayBlock() {
+				f.Scope = dataflow.ScopeDeviceBit
+			}
+		}
+		if op.IsExch && i > 0 {
+			if f := out.Trace[i-1]; f.Kind == dataflow.OpFence && f.Scope.MayBlock() {
+				f.Scope = dataflow.ScopeDeviceBit
+			}
+		}
+	}
+	for _, op := range out.Trace {
+		for _, l := range op.Locks {
+			if !lockTargets(l, e.Alloc) {
+				continue
+			}
+			c := lockClone(clones, l)
+			c.CasScope = widen(c.CasScope)
+			c.AcqFence = widen(c.AcqFence)
+			c.RelFence = widen(c.RelFence)
+			c.RelExch = widen(c.RelExch)
+		}
+	}
+	rewriteLocks(out, clones)
+	return out
+}
+
+// strengthenAbstract widens every fence (and the fence attributes of
+// every lock acquisition) that may be block scope to device scope.
+func strengthenAbstract(tr *dataflow.Result) *dataflow.Result {
+	hit := false
+	for _, op := range tr.Trace {
+		if op.Kind == dataflow.OpFence && op.Scope.MayBlock() {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return nil
+	}
+	out := cloneTrace(tr)
+	clones := map[*dataflow.LockInfo]*dataflow.LockInfo{}
+	for _, op := range out.Trace {
+		if op.Kind == dataflow.OpFence && op.Scope.MayBlock() {
+			op.Scope = dataflow.ScopeDeviceBit
+		}
+		for _, l := range op.Locks {
+			if widen(l.AcqFence) == l.AcqFence && widen(l.RelFence) == l.RelFence {
+				continue
+			}
+			c := lockClone(clones, l)
+			c.AcqFence = widen(c.AcqFence)
+			c.RelFence = widen(c.RelFence)
+		}
+	}
+	rewriteLocks(out, clones)
+	return out
+}
+
+func scopeSet(s core.Scope) dataflow.ScopeSet {
+	if s == core.ScopeDevice {
+		return dataflow.ScopeDeviceBit
+	}
+	return dataflow.ScopeBlockBit
+}
+
+// insertFenceAbstract inserts a synthetic fence op after each anchor —
+// writes and atomics targeting the allocation, or every CAS for the
+// AfterCAS variant, which also repairs the acquisition's recorded fence
+// attributes (the inserted fence IS the missing acquire fence).
+func insertFenceAbstract(e Edit, tr *dataflow.Result) *dataflow.Result {
+	ss := scopeSet(e.Scope)
+	anchored := func(op *dataflow.Op) bool {
+		if e.AfterCAS {
+			return op.IsCAS
+		}
+		return op.Mem() && op.Write && opTargets(op, e.Alloc)
+	}
+	hit := false
+	for _, op := range tr.Trace {
+		if anchored(op) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return nil
+	}
+	out := cloneTrace(tr)
+	var trace []*dataflow.Op
+	for _, op := range out.Trace {
+		trace = append(trace, op)
+		if !anchored(op) {
+			continue
+		}
+		trace = append(trace, &dataflow.Op{
+			Kind:   dataflow.OpFence,
+			Method: "Fence",
+			Scope:  ss,
+			Site:   op.Site,
+			Phase:  op.Phase,
+			Guards: op.Guards,
+			Locks:  op.Locks,
+		})
+	}
+	for i, op := range trace {
+		op.Index = i
+	}
+	out.Trace = trace
+	if e.AfterCAS {
+		clones := map[*dataflow.LockInfo]*dataflow.LockInfo{}
+		for _, op := range out.Trace {
+			for _, l := range op.Locks {
+				c := lockClone(clones, l)
+				c.AcqFenceMissing = false
+				c.AcqFenceMaybe = false
+				if c.AcqFence == 0 || c.AcqFence.MayBlock() {
+					c.AcqFence = ss
+				}
+			}
+		}
+		rewriteLocks(out, clones)
+	}
+	return out
+}
+
+// insertBarrierAbstract splits the trace at the CurSites boundary and
+// advances the barrier phase of everything after it. Fuzzy traces keep
+// their original (phases there don't order accesses, so the patch would
+// claim nothing); the static kill check then fails and the candidate
+// falls through to the dynamic oracles.
+func insertBarrierAbstract(e Edit, tr *dataflow.Result) *dataflow.Result {
+	if tr.Fuzzy || len(e.CurSites) == 0 {
+		return nil
+	}
+	curSite := map[string]bool{}
+	for _, s := range e.CurSites {
+		curSite[s] = true
+	}
+	pos := -1
+	for i, op := range tr.Trace {
+		if op.Mem() && curSite[op.Site] {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil
+	}
+	// Valid split: no site on both sides, no unlabeled memory op.
+	before := map[string]bool{}
+	for i, op := range tr.Trace {
+		if !op.Mem() {
+			continue
+		}
+		if op.Site == "" {
+			return nil
+		}
+		if i < pos {
+			before[op.Site] = true
+		} else if before[op.Site] {
+			return nil
+		}
+	}
+	out := cloneTrace(tr)
+	for _, op := range out.Trace[pos:] {
+		op.Phase++
+	}
+	return out
+}
+
+// demoteAbstract turns weak accesses to the allocation into device-scope
+// atomics.
+func demoteAbstract(e Edit, tr *dataflow.Result) *dataflow.Result {
+	hit := false
+	for _, op := range tr.Trace {
+		if op.Weak() && opTargets(op, e.Alloc) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return nil
+	}
+	out := cloneTrace(tr)
+	for _, op := range out.Trace {
+		if op.Weak() && opTargets(op, e.Alloc) {
+			op.Kind = dataflow.OpAtomic
+			op.Scope = dataflow.ScopeDeviceBit
+		}
+	}
+	return out
+}

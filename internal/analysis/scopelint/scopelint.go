@@ -28,12 +28,14 @@
 package scopelint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
 
 	"scord/internal/analysis/dataflow"
+	"scord/internal/analysis/fix"
 	"scord/internal/analysis/framework"
 )
 
@@ -151,7 +153,7 @@ func checkKernel(pass *framework.Pass, world *dataflow.World, wpkg *framework.Pa
 
 	checkCrossBlock(pass, r, res, ops)
 	checkFencePublish(pass, r, ops)
-	checkWeakMixed(r, ops)
+	checkWeakMixed(pass, r, ops)
 
 	calls := collectCtxCalls(pass, body)
 	checkAcqRel(pass, calls)
@@ -166,12 +168,34 @@ type reporter struct {
 }
 
 func (r *reporter) reportf(pos token.Pos, category, format string, args ...interface{}) {
+	r.reportFix(pos, category, nil, format, args...)
+}
+
+// reportFix is reportf with a machine-readable suggested fix attached
+// (shared vocabulary with the repair synthesizer; rendered by the
+// driver's -json output).
+func (r *reporter) reportFix(pos token.Pos, category string, fx *fix.Fix, format string, args ...interface{}) {
 	key := r.pass.Fset.Position(pos).String() + "\x00" + category
 	if r.seen[key] {
 		return
 	}
 	r.seen[key] = true
-	r.pass.Reportf(pos, category, format, args...)
+	r.pass.Report(framework.Diagnostic{
+		Pos:      pos,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fx,
+	})
+}
+
+// fixSite locates a suggested fix: the op's c.Site label when the kernel
+// recorded one, else its file:line source position.
+func fixSite(pass *framework.Pass, op *dataflow.Op) string {
+	if op.Site != "" {
+		return op.Site
+	}
+	pos := pass.Fset.Position(op.Pos())
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 }
 
 // collectCtxCalls gathers Ctx method calls in source order, descending
@@ -250,12 +274,17 @@ func checkCrossBlock(pass *framework.Pass, r *reporter, res *dataflow.Result, op
 		if !op.Atomic() || !blockScopeArg(pass, op) {
 			continue
 		}
+		fx := &fix.Fix{
+			Kind:   fix.PromoteScope,
+			Site:   fixSite(pass, op),
+			Detail: op.Method + " ScopeBlock -> ScopeDevice",
+		}
 		switch {
 		case op.Addr.CrossDerived():
-			r.reportf(op.Pos(), "crossblock",
+			r.reportFix(op.Pos(), "crossblock", fx,
 				"block-scope %s on an address derived from cross-block bases; block scope only orders within one threadblock — use ScopeDevice", op.Method)
 		case !op.Addr.BlockVarying() && op.Addr.Deps&(dataflow.DepMem|dataflow.DepUnknown) == 0 && !res.BlockBranch:
-			r.reportf(op.Pos(), "crossblock",
+			r.reportFix(op.Pos(), "crossblock", fx,
 				"block-scope %s on an address that is the same for every block; concurrent blocks will race on it — use ScopeDevice", op.Method)
 		}
 	}
@@ -284,7 +313,7 @@ func checkFencePublish(pass *framework.Pass, r *reporter, ops []*dataflow.Op) {
 // addresses into the same allocation may overlap); syntactic equality
 // remains as a fallback for addresses whose bases the interpreter could
 // not resolve.
-func checkWeakMixed(r *reporter, ops []*dataflow.Op) {
+func checkWeakMixed(pass *framework.Pass, r *reporter, ops []*dataflow.Op) {
 	var atomics []*dataflow.Op
 	for _, op := range ops {
 		if op.Atomic() {
@@ -306,7 +335,12 @@ func checkWeakMixed(r *reporter, ops []*dataflow.Op) {
 			}
 		}
 		if by != "" {
-			r.reportf(op.Pos(), "weakmixed",
+			fx := &fix.Fix{
+				Kind:   fix.DemoteAtomic,
+				Site:   fixSite(pass, op),
+				Detail: "weak " + op.Method + " -> device-scope atomic (or LoadV/StoreV)",
+			}
+			r.reportFix(op.Pos(), "weakmixed", fx,
 				"weak %s of %s, which this kernel also accesses with %s; weak accesses to synchronizing addresses race (use LoadV/StoreV or an atomic)",
 				op.Method, types.ExprString(op.AddrExpr), by)
 		}

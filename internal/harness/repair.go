@@ -1,0 +1,355 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"scord/internal/analysis/fix"
+	"scord/internal/analysis/framework"
+	"scord/internal/analysis/racepred"
+	"scord/internal/analysis/repair"
+	"scord/internal/config"
+	"scord/internal/gpu"
+	"scord/internal/replay"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+	"scord/internal/tracefile"
+)
+
+// This file runs the repair synthesizer (internal/analysis/repair) over
+// the whole injected-bug suite on the harness worker pool: every app
+// injection (26 single-injection configurations) and every base micro
+// (32) is recorded, repaired, and reported. Each job builds its own
+// device and benchmark instances and writes into an order-indexed slot,
+// so the table is byte-identical at any Jobs value. The racepred static
+// oracle is built once, sequentially, and shared read-only by the jobs.
+
+// AppliedFix is one accepted repair with its verification evidence.
+type AppliedFix struct {
+	Target   string          `json:"target"`
+	Fix      fix.Fix         `json:"fix"`
+	Evidence repair.Evidence `json:"evidence"`
+}
+
+// RepairRow is one benchmark configuration's repair outcome.
+type RepairRow struct {
+	Bench     string `json:"bench"`
+	Injection string `json:"injection,omitempty"`
+	// Class is the micro's Table VIII race class ("" for apps and
+	// race-free micros).
+	Class string `json:"class,omitempty"`
+	// ExpectRacey marks configurations that must produce repair targets
+	// (injections and racey micros); a race-free configuration producing
+	// targets is a regression.
+	ExpectRacey bool `json:"expect_racey"`
+	// Targets and Repaired count the confirmed races attacked and fixed.
+	Targets  int `json:"targets"`
+	Repaired int `json:"repaired"`
+	// FullyRepaired: the final trace carries no confirmed race.
+	FullyRepaired bool         `json:"fully_repaired"`
+	Fixes         []AppliedFix `json:"fixes,omitempty"`
+	Residual      []string     `json:"residual,omitempty"`
+	// OpsTouched and OpsInserted sum the accepted fixes' trace overhead.
+	OpsTouched  int `json:"ops_touched"`
+	OpsInserted int `json:"ops_inserted"`
+}
+
+// RepairTable is the suite-wide repair report.
+type RepairTable struct {
+	Rows []RepairRow `json:"rows"`
+}
+
+// InjectedRepaired counts fully repaired injection configurations.
+func (t *RepairTable) InjectedRepaired() (repaired, total int) {
+	for _, r := range t.Rows {
+		if r.Injection == "" {
+			continue
+		}
+		total++
+		if r.FullyRepaired {
+			repaired++
+		}
+	}
+	return repaired, total
+}
+
+// MicroRepaired counts fully repaired racey micros.
+func (t *RepairTable) MicroRepaired() (repaired, total int) {
+	for _, r := range t.Rows {
+		if r.Injection != "" || !r.ExpectRacey {
+			continue
+		}
+		total++
+		if r.FullyRepaired {
+			repaired++
+		}
+	}
+	return repaired, total
+}
+
+// Regressions counts configurations that must be race-free but produced
+// repair targets — the zero-tolerance half of the CI gate.
+func (t *RepairTable) Regressions() int {
+	n := 0
+	for _, r := range t.Rows {
+		if !r.ExpectRacey && r.Targets > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassCost aggregates accepted-fix overhead per Table VIII race class.
+type ClassCost struct {
+	Class    string `json:"class"`
+	Fixes    int    `json:"fixes"`
+	Touched  int    `json:"ops_touched"`
+	Inserted int    `json:"ops_inserted"`
+}
+
+// classOrder is the Table VIII detector grouping.
+var classOrder = []string{"fences", "scoped-fences", "scoped-atomics", "locks"}
+
+// ClassCosts groups the racey micros' fix overhead by race class, in
+// Table VIII order.
+func (t *RepairTable) ClassCosts() []ClassCost {
+	byClass := map[string]*ClassCost{}
+	for _, r := range t.Rows {
+		if r.Class == "" {
+			continue
+		}
+		c := byClass[r.Class]
+		if c == nil {
+			c = &ClassCost{Class: r.Class}
+			byClass[r.Class] = c
+		}
+		c.Fixes += len(r.Fixes)
+		c.Touched += r.OpsTouched
+		c.Inserted += r.OpsInserted
+	}
+	var out []ClassCost
+	for _, cls := range classOrder {
+		if c := byClass[cls]; c != nil {
+			out = append(out, *c)
+		}
+	}
+	return out
+}
+
+func fixKinds(fixes []AppliedFix) string {
+	if len(fixes) == 0 {
+		return "-"
+	}
+	var ks []string
+	for _, f := range fixes {
+		ks = append(ks, string(f.Fix.Kind))
+	}
+	return strings.Join(ks, ",")
+}
+
+// WriteText renders the table deterministically.
+func (t *RepairTable) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-36s %-20s %-14s %7s %8s  %s\n",
+		"bench", "injection", "class", "targets", "repaired", "fixes")
+	for _, r := range t.Rows {
+		inj, cls := r.Injection, r.Class
+		if inj == "" {
+			inj = "-"
+		}
+		if cls == "" {
+			cls = "-"
+		}
+		fmt.Fprintf(w, "%-36s %-20s %-14s %7d %8d  %s\n",
+			r.Bench, inj, cls, r.Targets, r.Repaired, fixKinds(r.Fixes))
+		for _, res := range r.Residual {
+			fmt.Fprintf(w, "    residual %s\n", res)
+		}
+	}
+	ir, it := t.InjectedRepaired()
+	mr, mt := t.MicroRepaired()
+	fmt.Fprintf(w, "\ninjected bugs fully repaired: %d/%d\n", ir, it)
+	fmt.Fprintf(w, "racey micros fully repaired:  %d/%d\n", mr, mt)
+	fmt.Fprintf(w, "race-free regressions:        %d\n", t.Regressions())
+	for _, c := range t.ClassCosts() {
+		fmt.Fprintf(w, "overhead[%s]: %d fixes, %d ops touched, %d ops inserted\n",
+			c.Class, c.Fixes, c.Touched, c.Inserted)
+	}
+}
+
+// Render returns the text report as a string.
+func (t *RepairTable) Render() string {
+	var b strings.Builder
+	t.WriteText(&b)
+	return b.String()
+}
+
+// recordRepairTrace runs one benchmark configuration live (ModeFull4B,
+// recorder attached) and returns the decoded trace.
+func recordRepairTrace(b scor.Benchmark, active []string) (tracefile.Header, []tracefile.Op, error) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	d, err := gpu.New(cfg)
+	if err != nil {
+		return tracefile.Header{}, nil, err
+	}
+	var buf bytes.Buffer
+	tw, err := tracefile.NewWriter(&buf, tracefile.NewHeader(b.Name(), active, cfg))
+	if err != nil {
+		return tracefile.Header{}, nil, err
+	}
+	d.SetOpSink(tw)
+	if err := b.Run(d, active); err != nil {
+		return tracefile.Header{}, nil, fmt.Errorf("%s (injections %v): %w", b.Name(), active, err)
+	}
+	if err := tw.Close(); err != nil {
+		return tracefile.Header{}, nil, err
+	}
+	tr, err := tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return tracefile.Header{}, nil, err
+	}
+	ops, err := replay.ReadAll(tr)
+	if err != nil {
+		return tracefile.Header{}, nil, err
+	}
+	return tr.Header(), ops, nil
+}
+
+func repairRowFromReport(rep *repair.Report) RepairRow {
+	row := RepairRow{Bench: rep.Bench, FullyRepaired: rep.FullyRepaired,
+		OpsTouched: rep.OpsTouched, OpsInserted: rep.OpsInserted}
+	row.Targets = len(rep.Outcomes)
+	for _, o := range rep.Outcomes {
+		if o.Repaired {
+			row.Repaired++
+			row.Fixes = append(row.Fixes, AppliedFix{
+				Target: o.Target.String(), Fix: *o.Fix, Evidence: *o.Evidence,
+			})
+		}
+	}
+	for _, t := range rep.Residual {
+		row.Residual = append(row.Residual, t.String())
+	}
+	return row
+}
+
+// repairApp repairs one app injection, with the uninjected base trace as
+// the sibling regression oracle.
+func repairApp(appIdx int, inj string, an *racepred.Analysis) (RepairRow, error) {
+	b := scor.Apps()[appIdx]
+	h, ops, err := recordRepairTrace(b, []string{inj})
+	if err != nil {
+		return RepairRow{}, err
+	}
+	base := scor.Apps()[appIdx]
+	bh, bops, err := recordRepairTrace(base, nil)
+	if err != nil {
+		return RepairRow{}, err
+	}
+	r := &repair.Repairer{
+		Bench:    b.Name(),
+		Header:   h,
+		Ops:      ops,
+		Siblings: []repair.Sibling{{Label: "base", Header: bh, Ops: bops}},
+		Analysis: an,
+	}
+	rep, err := r.RepairAll()
+	if err != nil {
+		return RepairRow{}, err
+	}
+	row := repairRowFromReport(rep)
+	row.Injection = inj
+	row.ExpectRacey = true
+	return row, nil
+}
+
+// repairMicro repairs one base-suite micro.
+func repairMicro(mi int, an *racepred.Analysis) (RepairRow, error) {
+	m := micro.All()[mi]
+	h, ops, err := recordRepairTrace(m, nil)
+	if err != nil {
+		return RepairRow{}, err
+	}
+	r := &repair.Repairer{Bench: m.Name(), Header: h, Ops: ops, Analysis: an}
+	rep, err := r.RepairAll()
+	if err != nil {
+		return RepairRow{}, err
+	}
+	row := repairRowFromReport(rep)
+	row.ExpectRacey = m.Racey()
+	if m.Racey() {
+		row.Class = m.Class()
+	}
+	return row, nil
+}
+
+// RunRepairSuite records and repairs every injected-bug configuration
+// (each app's single injections) plus every base micro. repoRoot, when
+// non-empty, locates the module so the racepred static oracle can be
+// built and wired into every repair session; empty disables the static
+// leg (the dynamic and predictive oracles still gate every fix).
+func RunRepairSuite(opt Options, repoRoot string) (*RepairTable, error) {
+	var an *racepred.Analysis
+	if repoRoot != "" {
+		pkgs, err := framework.Load(repoRoot, "./internal/scor", "./internal/scor/micro")
+		if err != nil {
+			return nil, fmt.Errorf("loading benchmark packages: %w", err)
+		}
+		if an, err = racepred.Analyze(pkgs); err != nil {
+			return nil, fmt.Errorf("static analysis: %w", err)
+		}
+	}
+
+	type jobSpec struct {
+		app int // -1 for micro jobs
+		inj string
+		mi  int
+	}
+	var specs []jobSpec
+	apps := scor.Apps()
+	for ai, b := range apps {
+		for _, inj := range b.Injections() {
+			specs = append(specs, jobSpec{app: ai, inj: inj, mi: -1})
+		}
+	}
+	for mi := range micro.All() {
+		specs = append(specs, jobSpec{app: -1, mi: mi})
+	}
+
+	rows := make([]RepairRow, len(specs))
+	var sims []Sim
+	for si := range specs {
+		si := si
+		spec := specs[si]
+		var label string
+		if spec.app >= 0 {
+			label = fmt.Sprintf("repair/%s/%s", apps[spec.app].Name(), spec.inj)
+		} else {
+			label = "repair/" + micro.All()[spec.mi].Name()
+		}
+		sims = append(sims, Sim{
+			Label: label,
+			Run: func() error {
+				var (
+					row RepairRow
+					err error
+				)
+				if spec.app >= 0 {
+					row, err = repairApp(spec.app, spec.inj, an)
+				} else {
+					row, err = repairMicro(spec.mi, an)
+				}
+				if err != nil {
+					return err
+				}
+				rows[si] = row
+				return nil
+			},
+		})
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+	return &RepairTable{Rows: rows}, nil
+}

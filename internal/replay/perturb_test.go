@@ -313,6 +313,110 @@ func TestPerturbTargetBlocked(t *testing.T) {
 	}
 }
 
+// TestPerturbTargetBarrierSeparated: a witness pair separated by a
+// barrier in every legal schedule must come back not-adjacent. The
+// barrier op is not an access, so neither walk direction can cross it;
+// the search must stop at the barrier and return, never loop.
+func TestPerturbTargetBarrierSeparated(t *testing.T) {
+	cfg := config.Default().WithDetector(config.ModeFull4B)
+	var bench scor.Benchmark
+	for _, m := range micro.All() {
+		if m.Name() == "fence.ok.same-barrier" {
+			bench = m
+		}
+	}
+	if bench == nil {
+		t.Fatal("micro fence.ok.same-barrier not found")
+	}
+	_, ops := recordOps(t, bench, cfg)
+
+	// The micro is store / SyncThreads / load across two warps of one
+	// block: pick the last access before the barrier and the first
+	// cross-warp access after it.
+	barrier := -1
+	for k, op := range ops {
+		if op.Kind == tracefile.OpBarrier {
+			barrier = k
+			break
+		}
+	}
+	if barrier < 0 {
+		t.Fatal("no barrier in fence.ok.same-barrier trace")
+	}
+	i, j := -1, -1
+	for k := barrier - 1; k >= 0; k-- {
+		if ops[k].Kind == tracefile.OpAccess {
+			i = k
+			break
+		}
+	}
+	for k := barrier + 1; k < len(ops); k++ {
+		if ops[k].Kind == tracefile.OpAccess && i >= 0 &&
+			(ops[k].Access.Block != ops[i].Access.Block || ops[k].Access.Warp != ops[i].Access.Warp) {
+			j = k
+			break
+		}
+	}
+	if i < 0 || j < 0 {
+		t.Fatalf("no cross-warp access pair straddles the barrier at %d", barrier)
+	}
+
+	out, ni, nj, ok := replay.PerturbTarget(ops, i, j)
+	if ok {
+		t.Fatalf("pair (%d, %d) straddling the barrier at %d reported adjacent", i, j, barrier)
+	}
+	if nj <= ni+1 {
+		t.Fatalf("not-adjacent result has adjacent indices: %d, %d", ni, nj)
+	}
+	if len(out) != len(ops) {
+		t.Fatalf("length changed: %d -> %d", len(ops), len(out))
+	}
+	if !reflect.DeepEqual(out[ni], ops[i]) || !reflect.DeepEqual(out[nj], ops[j]) {
+		t.Fatal("reported indices do not hold the original pair ops")
+	}
+	// The barrier itself must still sit between them.
+	sep := false
+	for k := ni + 1; k < nj; k++ {
+		if out[k].Kind == tracefile.OpBarrier {
+			sep = true
+		}
+	}
+	if !sep {
+		t.Fatal("barrier no longer separates the pair")
+	}
+}
+
+// TestPerturbTargetBarrierWalk pins the exact stop behavior on a
+// synthetic trace: both walk directions make progress past movable
+// filler accesses, hit the barrier, and the search terminates via its
+// no-further-motion exit with the pair two slots apart.
+func TestPerturbTargetBarrierWalk(t *testing.T) {
+	acc := func(warp int, addr uint64) tracefile.Op {
+		return tracefile.Op{Kind: tracefile.OpAccess,
+			Access: core.Access{Warp: warp, Addr: addr}}
+	}
+	ops := []tracefile.Op{
+		acc(0, 0),  // i: must advance past the warp-1 filler, then stop
+		acc(1, 8),  // filler
+		{Kind: tracefile.OpBarrier},
+		acc(0, 16), // filler
+		acc(1, 24), // j: must retreat past the warp-0 filler, then stop
+	}
+	out, ni, nj, ok := replay.PerturbTarget(ops, 0, 4)
+	if ok {
+		t.Fatalf("barrier-separated pair reported adjacent: ni=%d nj=%d", ni, nj)
+	}
+	if ni != 1 || nj != 3 {
+		t.Fatalf("walk stopped at (%d, %d), want (1, 3) — flush against the barrier", ni, nj)
+	}
+	if out[2].Kind != tracefile.OpBarrier {
+		t.Fatalf("barrier moved: %+v", out[2])
+	}
+	if !reflect.DeepEqual(out[ni], ops[0]) || !reflect.DeepEqual(out[nj], ops[4]) {
+		t.Fatal("reported indices do not hold the original pair ops")
+	}
+}
+
 // TestPerturbTargetInvalidArgs: out-of-range or inverted pairs are
 // rejected.
 func TestPerturbTargetInvalidArgs(t *testing.T) {
