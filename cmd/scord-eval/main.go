@@ -43,6 +43,7 @@ import (
 	"scord/internal/config"
 	"scord/internal/harness"
 	"scord/internal/obs"
+	"scord/internal/version"
 )
 
 // exitInterrupted is the exit code after a SIGINT/SIGTERM drain (128 +
@@ -94,6 +95,7 @@ var experiments = []experiment{
 	{"fig9", func(o harness.Options) (result, error) { return harness.RunFig9(o) }},
 	{"fig10", func(o harness.Options) (result, error) { return harness.RunFig10(o) }},
 	{"fig11", func(o harness.Options) (result, error) { return harness.RunFig11(o) }},
+	{"phases", func(o harness.Options) (result, error) { return harness.RunPhaseProfile(o) }},
 	{"ablation-ratio", func(o harness.Options) (result, error) { return harness.RunAblationCacheRatio(o) }},
 	{"ablation-inbox", func(o harness.Options) (result, error) { return harness.RunAblationInbox(o) }},
 	{"ablation-rate", func(o harness.Options) (result, error) { return harness.RunAblationRate(o) }},
@@ -132,9 +134,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProfile  = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 		verbose     = fs.Bool("v", false, "also log per-job scheduling detail")
 		quiet       = fs.Bool("quiet", false, "suppress run telemetry; warnings and errors only")
+		showVer     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, "scord-eval", version.String())
+		return 0
 	}
 	if *verbose && *quiet {
 		fmt.Fprintln(stderr, "scord-eval: -v and -quiet are mutually exclusive")

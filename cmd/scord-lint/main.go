@@ -18,13 +18,23 @@
 package main
 
 import (
+	"fmt"
 	"os"
 
 	"scord/internal/analysis/detlint"
 	"scord/internal/analysis/framework"
 	"scord/internal/analysis/scopelint"
+	"scord/internal/version"
 )
 
 func main() {
+	// The analyzer framework owns flag parsing, so -version is
+	// intercepted up front like every other tool's.
+	for _, a := range os.Args[1:] {
+		if a == "-version" || a == "--version" {
+			fmt.Println("scord-lint", version.String())
+			os.Exit(0)
+		}
+	}
 	os.Exit(framework.Main(os.Stdout, os.Stderr, os.Args[1:], scopelint.Analyzer, detlint.Analyzer))
 }

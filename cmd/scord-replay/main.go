@@ -44,6 +44,7 @@ import (
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 	"scord/internal/tracefile"
+	"scord/internal/version"
 )
 
 // exitInterrupted is the exit code after a SIGINT/SIGTERM drain (128 +
@@ -96,6 +97,7 @@ commands:
   record   run one benchmark live and write its memory-op trace
   dump     print a trace's header and ops in human-readable form
   replay   run detector models over a recorded trace
+  explain  replay with provenance capture: per-race evidence and the Table III/IV rule that fired
   predict  soundly predict races reachable from a recorded trace
   repair   synthesize and verify a minimal-cost fix for a racy trace
   table8   record the micro corpus and regenerate Table VIII from it
@@ -116,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDump(args[1:], stdout, stderr)
 	case "replay":
 		return runReplay(args[1:], stdout, stderr)
+	case "explain":
+		return runExplain(args[1:], stdout, stderr)
 	case "predict":
 		return runPredict(args[1:], stdout, stderr)
 	case "repair":
@@ -124,6 +128,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runTable8(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
+		return 0
+	case "-version", "--version", "version":
+		fmt.Fprintln(stdout, "scord-replay", version.String())
 		return 0
 	}
 	fmt.Fprintf(stderr, "scord-replay: unknown command %q\n", args[0])

@@ -234,3 +234,90 @@ func TestRepairSubcommand(t *testing.T) {
 		t.Fatalf("repair -min-repaired without -suite: exit code = %d, want 2", code)
 	}
 }
+
+// TestExplainSubcommand records the racey fence micro and explains the
+// trace's race verdicts with full provenance, comparing byte-for-byte
+// against the checked-in golden (the same diff the CI smoke performs).
+func TestExplainSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"explain", path}, &out, &errOut); code != 0 {
+		t.Fatalf("explain: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "explain_fence.golden"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("explain output differs from testdata/explain_fence.golden:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestExplainSpanJSONMatchesLive: the cycle-domain span tree exported
+// from a replayed trace is byte-identical to the one the live simulation
+// of the same configuration emits — the tracing layer's core determinism
+// contract.
+func TestExplainSpanJSONMatchesLive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	spanA := filepath.Join(dir, "a.json")
+	spanB := filepath.Join(dir, "b.json")
+	if code := run([]string{"explain", "-span-json", spanA, path}, &out, &errOut); code != 0 {
+		t.Fatalf("explain: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if code := run([]string{"explain", "-mode", "base", "-span-json", spanB, path}, &out, &errOut); code != 0 {
+		t.Fatalf("explain -mode base: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	a, err := os.ReadFile(spanA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(spanB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The span tree derives from the recorded op stream alone, so the
+	// detector mode must not perturb it.
+	if string(a) != string(b) {
+		t.Error("span JSON differs across detector modes")
+	}
+	if !strings.Contains(string(a), `"clock_domain": "cycles"`) {
+		t.Error("span JSON missing cycle clock domain")
+	}
+	if !strings.Contains(string(a), `"check-batch"`) {
+		t.Error("span JSON missing check-batch spans")
+	}
+}
+
+// TestExplainPerfettoFlows: the Perfetto export carries the race instant
+// and a flow arrow linking the access spans.
+func TestExplainPerfettoFlows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	pf := filepath.Join(dir, "pf.json")
+	if code := run([]string{"explain", "-perfetto", pf, path}, &out, &errOut); code != 0 {
+		t.Fatalf("explain -perfetto: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "race"`, `"ph": "s"`, `"ph": "f"`, `"name": "check-batch"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("perfetto export missing %s", want)
+		}
+	}
+}

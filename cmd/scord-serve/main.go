@@ -43,6 +43,7 @@ import (
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 	"scord/internal/serve"
+	"scord/internal/version"
 )
 
 // exitInterrupted is the exit code when a drain was forced mid-work (a
@@ -94,9 +95,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ltDetector = fs.String("loadtest-detector", "all", "detector set each request replays")
 		ltDrainAt  = fs.Int("loadtest-drain-at", -1, "trigger the graceful drain after N responses (-1: half the requests, 0: never)")
 		ltTrace    = fs.String("loadtest-trace", "", "SCTR trace file to replay (default: record fence.racey.cross-none in-process)")
+		showVer    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, "scord-serve", version.String())
+		return 0
 	}
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 

@@ -23,10 +23,13 @@ import (
 	"scord/internal/gpu"
 	"scord/internal/mem"
 	"scord/internal/obs"
+	"scord/internal/obs/tracing"
 	"scord/internal/scor"
 	"scord/internal/scor/micro"
 	"scord/internal/stats"
 	"scord/internal/trace"
+	"scord/internal/tracefile"
+	"scord/internal/version"
 )
 
 // perfettoTraceCap is the tracer ring size used when -perfetto is given
@@ -98,9 +101,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale     = fs.Int("scale", 1, "multiply the benchmark's input size (device memory scales too)")
 		explain   = fs.Bool("explain", false, "print a diagnosis and fix suggestion per race")
 		perfetto  = fs.String("perfetto", "", "write a Chrome/Perfetto trace_event JSON file of the run (implies event tracing)")
+		phases    = fs.Bool("phases", false, "print the cycle-attribution breakdown by simulator phase")
+		spanJSON  = fs.String("span-json", "", "write the cycle-domain span trace (scord-spans/1 JSON) to this file")
+		showVer   = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, "scord", version.String())
+		return 0
 	}
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 
@@ -167,6 +177,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr = trace.New(n)
 		dev.AttachTracer(tr)
 	}
+	var spans *tracing.Builder
+	if *spanJSON != "" {
+		// The identity parts mirror tracing.FromOps, so the span JSON of
+		// a live run is byte-identical to the one rebuilt from a recorded
+		// trace of the same configuration.
+		spans = tracing.NewBuilder(bench.Name(),
+			fmt.Sprintf("%016x", tracefile.HashConfig(cfg)), fmt.Sprintf("%d", cfg.Seed))
+		dev.SetOpSink(spans)
+	}
 	if err := bench.Run(dev, active); err != nil {
 		logger.Error("benchmark failed", "benchmark", bench.Name(), "err", err)
 		return 1
@@ -179,6 +198,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		renderText(stdout, dev, bench, dm, active, *explain)
+		if *phases {
+			fmt.Fprintf(stdout, "\ncycle attribution by phase:\n")
+			dev.Phases().WriteTable(stdout, dev.Cycles())
+		}
 		if *traceN > 0 {
 			fmt.Fprintf(stdout, "\nlast %d execution events:\n", tr.Len())
 			if _, err := tr.WriteTo(stdout); err != nil {
@@ -186,6 +209,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+
+	if spans != nil {
+		spans.Finish(dev.Cycles())
+		f, err := os.Create(*spanJSON)
+		if err != nil {
+			logger.Error("creating span trace", "err", err)
+			return 1
+		}
+		if err := spans.Tracer().WriteJSON(f); err != nil {
+			f.Close()
+			os.Remove(*spanJSON)
+			logger.Error("writing span trace", "err", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("writing span trace", "err", err)
+			return 1
+		}
+		logger.Info("wrote span trace", "path", *spanJSON,
+			"trace_id", spans.Tracer().TraceID().String(), "spans", spans.Tracer().Len())
 	}
 
 	if *perfetto != "" {

@@ -56,6 +56,11 @@ var deterministicCore = map[string]bool{
 	// obeys the same contract: no wall-clock, no global rand, no
 	// map-order-dependent serialization.
 	"scord/internal/obs": true,
+	// The cycle-domain span tracer is part of a run's deterministic
+	// output (live and replay span trees must be byte-identical), so it
+	// lives under the full contract; its wall-clock domain takes an
+	// injected Clock, never time.Now.
+	"scord/internal/obs/tracing": true,
 	// Trace recording and replay are the determinism contract made
 	// inspectable: a recorded trace must be byte-identical across runs and
 	// a replay bit-identical to its live twin, so both packages live under

@@ -73,6 +73,12 @@ type Detector struct {
 	index    map[recordKey]int
 	overflow int
 
+	// Provenance capture (EnableProvenance): evidence per unique race
+	// tuple, plus the shadow site table the entry format cannot carry.
+	prov     bool
+	evidence map[recordKey]Evidence
+	shadow   map[int]shadowPrev
+
 	// Acquire/release extension state (Section VI).
 	releaseCounter uint8
 	releaseFile    map[int64]uint8
@@ -117,6 +123,10 @@ func (d *Detector) ResetForKernel() {
 	clear(d.locks)
 	d.releaseCounter = 0
 	d.releaseFile = make(map[int64]uint8)
+	if d.prov {
+		// Metadata was reinitialized, so the shadow site table is stale.
+		d.shadow = make(map[int]shadowPrev)
+	}
 }
 
 // OnFence processes a scoped fence: the fence file counter of the issuing
@@ -191,6 +201,7 @@ func (d *Detector) CheckAccess(a Access) CheckResult {
 		// the entry is overwritten with the current access (Section IV-B).
 		d.s.MetaCacheEvicts++
 		d.store.Update(idx, d.freshEntry(&a, tag, cur))
+		d.noteShadow(&a)
 		return res
 	}
 
@@ -201,6 +212,7 @@ func (d *Detector) CheckAccess(a Access) CheckResult {
 		// Table III (a): first access since (re-)initialization.
 		d.s.DetectorPrelimOK++
 		d.store.Update(idx, d.freshEntry(&a, tag, cur))
+		d.noteShadow(&a)
 		return res
 	}
 
@@ -225,13 +237,23 @@ func (d *Detector) CheckAccess(a Access) CheckResult {
 		// were checked when they executed.
 	default:
 		if kind, ok := d.fullCheck(&a, e, cur, sameBlock); ok {
-			d.report(kind, &a, e, sameBlock)
+			d.report(kind, &a, e, sameBlock, cur)
 			res.Raced = true
 		}
 	}
 
 	d.store.Update(idx, d.updatedEntry(&a, e, tag, cur))
+	d.noteShadow(&a)
 	return res
+}
+
+// noteShadow remembers which concrete instruction last wrote each
+// metadata group, so evidence records can name the previous access site.
+func (d *Detector) noteShadow(a *Access) {
+	if !d.prov {
+		return
+	}
+	d.shadow[d.store.GroupBase(int(a.Addr/4))] = shadowPrev{site: a.Site, cycle: a.Cycle}
 }
 
 // fullCheck applies Table IV once the preliminary checks have failed and
@@ -349,7 +371,7 @@ func (d *Detector) updatedEntry(a *Access, e Entry, tag uint8, cur Bloom) Entry 
 	return e
 }
 
-func (d *Detector) report(kind RaceKind, a *Access, e Entry, sameBlock bool) {
+func (d *Detector) report(kind RaceKind, a *Access, e Entry, sameBlock bool, cur Bloom) {
 	d.s.RacesReported++
 	groupAddr := uint64(d.store.GroupBase(int(a.Addr/4))) * 4
 	key := recordKey{kind: kind, addr: groupAddr, site: a.Site}
@@ -360,6 +382,11 @@ func (d *Detector) report(kind RaceKind, a *Access, e Entry, sameBlock bool) {
 	if len(d.records) >= maxRecords {
 		d.overflow++
 		return
+	}
+	if d.prov {
+		// First occurrence of this tuple: freeze the evidence before the
+		// current access overwrites the metadata entry.
+		d.evidence[key] = d.buildEvidence(kind, a, e, sameBlock, cur)
 	}
 	d.index[key] = len(d.records)
 	d.records = append(d.records, Record{
@@ -393,4 +420,7 @@ func (d *Detector) ClearRecords() {
 	d.records = d.records[:0]
 	d.index = make(map[recordKey]int)
 	d.overflow = 0
+	if d.prov {
+		d.evidence = make(map[recordKey]Evidence)
+	}
 }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"scord/internal/config"
+)
+
+// TestProvenanceDisabledByDefault: without EnableProvenance no evidence
+// is captured and EvidenceFor reports absence.
+func TestProvenanceDisabledByDefault(t *testing.T) {
+	d := newDet(config.ModeFull4B)
+	d.CheckAccess(acc(KindStore, 0x100, 0, 0))
+	d.CheckAccess(acc(KindLoad, 0x100, 1, 0))
+	recs := d.Records()
+	if len(recs) != 1 {
+		t.Fatalf("races = %d, want 1", len(recs))
+	}
+	if _, ok := d.EvidenceFor(recs[0]); ok {
+		t.Fatal("evidence captured with provenance disabled")
+	}
+}
+
+// TestProvenanceCapturesBothSides: the evidence names the firing table
+// row and reconstructs both access sides, including the shadow table's
+// site/cycle for the previous access.
+func TestProvenanceCapturesBothSides(t *testing.T) {
+	d := newDet(config.ModeFull4B)
+	d.EnableProvenance()
+	prev := acc(KindStore, 0x100, 0, 0)
+	prev.Site = "k.store"
+	prev.Cycle = 7
+	d.CheckAccess(prev)
+	cur := acc(KindLoad, 0x100, 1, 0)
+	cur.Site = "k.load"
+	cur.Cycle = 42
+	if r := d.CheckAccess(cur); !r.Raced {
+		t.Fatal("cross-block unfenced conflict not flagged")
+	}
+	recs := d.Records()
+	if len(recs) != 1 {
+		t.Fatalf("races = %d, want 1", len(recs))
+	}
+	ev, ok := d.EvidenceFor(recs[0])
+	if !ok {
+		t.Fatal("no evidence for the reported race")
+	}
+	if ev.TableRow != "Table IV (b)" {
+		t.Errorf("table row = %q, want Table IV (b)", ev.TableRow)
+	}
+	if ev.SameBlock {
+		t.Error("cross-block race marked sameBlock")
+	}
+	if ev.Prev.Kind != "store" || ev.Prev.Block != 0 || ev.Prev.Warp != 0 {
+		t.Errorf("prev side = %+v", ev.Prev)
+	}
+	if ev.Prev.Site != "k.store" || ev.Prev.Cycle != 7 {
+		t.Errorf("prev shadow site/cycle = %q/%d, want k.store/7", ev.Prev.Site, ev.Prev.Cycle)
+	}
+	if ev.Cur.Kind != "load" || ev.Cur.Block != 1 || ev.Cur.Site != "k.load" || ev.Cur.Cycle != 42 {
+		t.Errorf("cur side = %+v", ev.Cur)
+	}
+	if !ev.PrevModified {
+		t.Error("previous store not marked modified")
+	}
+}
+
+// TestProvenanceFrozenAtFirstOccurrence: a repeated race tuple keeps the
+// first occurrence's evidence (matching the record's dedup semantics).
+func TestProvenanceFrozenAtFirstOccurrence(t *testing.T) {
+	d := newDet(config.ModeFull4B)
+	d.EnableProvenance()
+	d.CheckAccess(acc(KindStore, 0x100, 0, 0))
+	first := acc(KindLoad, 0x100, 1, 0)
+	first.Cycle = 10
+	d.CheckAccess(first)
+	second := acc(KindLoad, 0x100, 1, 0)
+	second.Cycle = 99
+	d.CheckAccess(second)
+	recs := d.Records()
+	if len(recs) != 1 {
+		t.Fatalf("races = %d, want 1 (deduped)", len(recs))
+	}
+	ev, ok := d.EvidenceFor(recs[0])
+	if !ok {
+		t.Fatal("no evidence")
+	}
+	if ev.Cur.Cycle != 10 {
+		t.Errorf("cur cycle = %d, want the first occurrence's 10", ev.Cur.Cycle)
+	}
+}
+
+// TestProvenanceDoesNotChangeDetection: the race set with provenance on
+// matches the set with it off, record for record.
+func TestProvenanceDoesNotChangeDetection(t *testing.T) {
+	drive := func(d *Detector) []Record {
+		d.CheckAccess(acc(KindStore, 0x100, 0, 0))
+		d.CheckAccess(acc(KindLoad, 0x100, 1, 0))
+		d.OnFence(0, 0, ScopeDevice)
+		d.CheckAccess(acc(KindStore, 0x200, 2, 1))
+		d.CheckAccess(acc(KindAtomic, 0x200, 3, 0))
+		return d.Records()
+	}
+	plain := drive(newDet(config.ModeFull4B))
+	withProv := func() []Record {
+		d := newDet(config.ModeFull4B)
+		d.EnableProvenance()
+		return drive(d)
+	}()
+	if len(plain) != len(withProv) {
+		t.Fatalf("race counts differ: %d vs %d", len(plain), len(withProv))
+	}
+	for i := range plain {
+		if plain[i] != withProv[i] {
+			t.Errorf("record %d differs: %+v vs %+v", i, plain[i], withProv[i])
+		}
+	}
+}
+
+// TestEvidenceRenderDeterministic: Render is a pure function of the
+// evidence value and names the key state.
+func TestEvidenceRenderDeterministic(t *testing.T) {
+	d := newDet(config.ModeFull4B)
+	d.EnableProvenance()
+	d.CheckAccess(acc(KindStore, 0x100, 0, 0))
+	d.CheckAccess(acc(KindLoad, 0x100, 1, 0))
+	ev, ok := d.EvidenceFor(d.Records()[0])
+	if !ok {
+		t.Fatal("no evidence")
+	}
+	a, b := ev.Render(), ev.Render()
+	if a != b {
+		t.Fatal("Render not deterministic")
+	}
+	for _, want := range []string{"rule: Table IV (b)", "prev: store by b0/w0", "cur : load by b1/w0", "fence-file"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("Render missing %q:\n%s", want, a)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package gpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// PhaseAccounts is the cycle-attribution profile of one simulation: every
+// latency the timing model charges is booked to exactly one account, so
+// the breakdown says where a run's simulated time structurally goes —
+// the measurement baseline any engine parallelization (ROADMAP item 1)
+// is judged against. The accounts are cycle-weighted latency
+// contributions, not wall-clock partitions: memory-level parallelism
+// overlaps them, so their sum exceeds the cycle count on purpose.
+//
+// The accounts are deterministic simulation output: same config, seed
+// and kernel → identical numbers, live only (a replayed trace carries no
+// timing).
+type PhaseAccounts struct {
+	// Issue is compute/issue work: the cycles warps spend executing
+	// non-memory instructions.
+	Issue uint64
+	// Fence is scoped-fence latency, including device-fence L1 flush
+	// write-back time.
+	Fence uint64
+	// Barrier is barrier-release latency across all released warps.
+	Barrier uint64
+	// L1 is SM-local cache time: hit latency and miss-probe time.
+	L1 uint64
+	// NOC is SM<->L2 interconnect transfer time for data traffic.
+	NOC uint64
+	// L2 is shared-cache time for data traffic: bank contention plus hit
+	// latency.
+	L2 uint64
+	// DRAM is device-memory service time for data misses.
+	DRAM uint64
+	// DetectorMeta is detector overhead off the SM critical path:
+	// metadata reads/writes through the L2/DRAM and check-packet
+	// interconnect traffic for L1 hits.
+	DetectorMeta uint64
+	// DetectorStall is detector overhead on the SM critical path: cycles
+	// L1 hits could not retire because the detector inbox was over-full.
+	DetectorStall uint64
+}
+
+// phaseRows fixes the presentation order of the accounts.
+func (p PhaseAccounts) phaseRows() []struct {
+	Name   string
+	Cycles uint64
+} {
+	return []struct {
+		Name   string
+		Cycles uint64
+	}{
+		{"issue", p.Issue},
+		{"fence", p.Fence},
+		{"barrier", p.Barrier},
+		{"l1", p.L1},
+		{"noc", p.NOC},
+		{"l2", p.L2},
+		{"dram", p.DRAM},
+		{"det-meta", p.DetectorMeta},
+		{"det-stall", p.DetectorStall},
+	}
+}
+
+// Sum returns the total charged cycles across all accounts.
+func (p PhaseAccounts) Sum() uint64 {
+	var t uint64
+	for _, r := range p.phaseRows() {
+		t += r.Cycles
+	}
+	return t
+}
+
+// Sub returns the field-wise difference p - o (all accounts are monotone).
+func (p PhaseAccounts) Sub(o PhaseAccounts) PhaseAccounts {
+	return PhaseAccounts{
+		Issue:         p.Issue - o.Issue,
+		Fence:         p.Fence - o.Fence,
+		Barrier:       p.Barrier - o.Barrier,
+		L1:            p.L1 - o.L1,
+		NOC:           p.NOC - o.NOC,
+		L2:            p.L2 - o.L2,
+		DRAM:          p.DRAM - o.DRAM,
+		DetectorMeta:  p.DetectorMeta - o.DetectorMeta,
+		DetectorStall: p.DetectorStall - o.DetectorStall,
+	}
+}
+
+// WriteTable renders the deterministic per-run breakdown: one row per
+// account with its share of the charged total, plus the run's simulated
+// cycle count for scale.
+func (p PhaseAccounts) WriteTable(w io.Writer, simCycles uint64) {
+	total := p.Sum()
+	fmt.Fprintf(w, "  %-10s %14s %7s\n", "phase", "charged-cycles", "share")
+	for _, r := range p.phaseRows() {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Cycles) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-10s %14d %6.1f%%\n", r.Name, r.Cycles, share)
+	}
+	fmt.Fprintf(w, "  %-10s %14d\n", "charged", total)
+	fmt.Fprintf(w, "  %-10s %14d\n", "sim-cycles", simCycles)
+}
+
+// Phases returns the accumulated cycle-attribution profile.
+func (d *Device) Phases() PhaseAccounts { return d.ph }

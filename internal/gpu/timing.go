@@ -38,6 +38,7 @@ func (d *Device) service(c *Ctx, r *request) {
 	case reqWork:
 		d.st.Instructions++
 		d.sms[c.block.sm].ctr.Instructions++
+		d.ph.Issue += r.cycles
 		d.eng.At(now+r.cycles, func() { d.resumeWarp(c) })
 
 	case reqFence:
@@ -69,6 +70,7 @@ func (d *Device) service(c *Ctx, r *request) {
 		if d.sink != nil {
 			d.sink.Fence(c.Block, c.Warp, r.scope, now, false)
 		}
+		d.ph.Fence += lat
 		d.eng.At(now+lat, func() { d.resumeWarp(c) })
 
 	case reqBarrier:
@@ -135,6 +137,7 @@ func (d *Device) releaseBarrier(bs *blockState) {
 		}
 	}
 	at := d.eng.Now() + barrierLat
+	d.ph.Barrier += uint64(barrierLat) * uint64(len(warps))
 	for _, w := range warps {
 		w := w
 		d.eng.At(at, func() { d.resumeWarp(w) })
@@ -156,6 +159,8 @@ func (d *Device) l2Access(a mem.Addr, ready uint64, meta, write bool) uint64 {
 		d.st.L2DataAccesses++
 	}
 	done := start + uint64(d.cfg.L2HitLat)
+	l2Part := done - ready // bank contention + hit latency
+	var dramPart uint64
 	if !hit {
 		if meta {
 			d.st.L2MetaMisses++
@@ -164,7 +169,9 @@ func (d *Device) l2Access(a mem.Addr, ready uint64, meta, write bool) uint64 {
 			d.st.L2DataMisses++
 			d.st.DRAMDataAccesses++
 		}
+		pre := done
 		done = d.dram.Access(line, done)
+		dramPart = done - pre
 		if ev.Valid && ev.Dirty {
 			// Write back the displaced dirty line, off the critical path.
 			if uint64(ev.Base) >= d.metaBase() {
@@ -177,6 +184,14 @@ func (d *Device) l2Access(a mem.Addr, ready uint64, meta, write bool) uint64 {
 	}
 	if write {
 		d.l2.MarkDirty(line)
+	}
+	if meta {
+		// Metadata traffic is detector overhead wholesale, wherever it is
+		// served from.
+		d.ph.DetectorMeta += l2Part + dramPart
+	} else {
+		d.ph.L2 += l2Part
+		d.ph.DRAM += dramPart
 	}
 	return done
 }
@@ -343,6 +358,7 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 				respBytes += words * 4
 			}
 			txDone = d.net.FromL2(bank, sm.id, respBytes, l2done)
+			d.ph.NOC += (arrive - issue) + (txDone - l2done)
 			checkArrive = arrive
 
 		case l1Hit:
@@ -351,11 +367,13 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 			sm.ctr.L1Accesses++
 			sm.ctr.L1Hits++
 			txDone = issue + uint64(d.cfg.L1HitLat)
+			d.ph.L1 += uint64(d.cfg.L1HitLat)
 			checkArrive = txDone
 			if detOn && !d.cfg.Detector.DisableNOCTiming {
 				// Even an L1 hit sends a check packet to the detector
 				// behind the L2 interconnect (Figure 6).
 				checkArrive = d.net.ToL2(sm.id, bank, pktHeader, issue, extra)
+				d.ph.DetectorMeta += checkArrive - issue
 			}
 
 		default: // L1 miss: fetch the line
@@ -365,6 +383,8 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 			arrive := d.net.ToL2(sm.id, bank, pktHeader, probeDone, extra)
 			l2done := d.l2Access(tx.line, arrive, false, false)
 			txDone = d.net.FromL2(bank, sm.id, pktHeader+d.cfg.LineSize, l2done)
+			d.ph.L1 += probeDone - issue
+			d.ph.NOC += (arrive - probeDone) + (txDone - l2done)
 			checkArrive = arrive
 		}
 
@@ -375,6 +395,7 @@ func (d *Device) serviceMem(c *Ctx, op *memOp) uint64 {
 				// full — the LHD overhead of Figure 10.
 				d.st.DetectorStalls += stall
 				sm.ctr.DetectorStalls += stall
+				d.ph.DetectorStall += stall
 				txDone += stall
 			}
 		}

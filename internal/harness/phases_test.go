@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPhaseProfileShape: every suite app gets a row, cycle totals are
+// non-zero, and the detector-overhead account is populated under the
+// cached ScoRD mode.
+func TestPhaseProfileShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite simulation")
+	}
+	p, err := RunPhaseProfile(Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawDetector := false
+	for _, r := range p.Rows {
+		if r.Cycles == 0 {
+			t.Errorf("%s: zero sim cycles", r.App)
+		}
+		if r.Phases.Sum() == 0 {
+			t.Errorf("%s: zero charged cycles", r.App)
+		}
+		if r.Phases.DetectorMeta > 0 {
+			sawDetector = true
+		}
+	}
+	if !sawDetector {
+		t.Error("no app charged detector-metadata cycles under ScoRD")
+	}
+	table := p.Render()
+	for _, want := range []string{"issue", "dram", "det-meta", "sim-cycles"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestPhaseProfileDeterministicAcrossJobs: the rendered phase table (and
+// its CSV twin) is byte-identical at any -jobs — phase accounts are part
+// of a run's deterministic output.
+func TestPhaseProfileDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite simulation")
+	}
+	render := func(jobs int) (string, string) {
+		p, err := RunPhaseProfile(Options{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Render(), fmt.Sprint(p.CSV())
+	}
+	txt1, csv1 := render(1)
+	txt4, csv4 := render(4)
+	if txt1 != txt4 {
+		t.Errorf("phase table differs between -jobs 1 and -jobs 4:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", txt1, txt4)
+	}
+	if csv1 != csv4 {
+		t.Error("phase CSV differs between -jobs 1 and -jobs 4")
+	}
+}

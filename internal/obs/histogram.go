@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// exposition shape, extended with one exemplar per bucket: the trace ID
+// and value of the most recent observation that landed there, rendered
+// in OpenMetrics exemplar syntax ("# {trace_id=...} value"). An
+// operator reading a slow bucket on /metrics can paste its exemplar
+// trace ID straight into /v1/spans and get that request's span tree —
+// the metrics-to-traces join the span subsystem exists for.
+//
+// Buckets are fixed at construction (no dynamic resizing: the scrape
+// format must be stable across a process's lifetime) and observations
+// are cumulative, Prometheus-style: a value lands in every bucket whose
+// upper bound admits it, plus the implicit +Inf bucket.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // sorted upper bounds, excluding +Inf
+
+	mu        sync.Mutex
+	counts    []uint64 // len(bounds)+1; last is +Inf
+	exemplars []exemplar
+	sum       float64
+	total     uint64
+}
+
+// exemplar is the most recent observation in one bucket.
+type exemplar struct {
+	traceID string
+	value   float64
+	set     bool
+}
+
+// DefaultLatencyBuckets covers the serve path's request latencies in
+// seconds, from sub-millisecond cache hits to multi-second queue waits.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram named name (a valid Prometheus metric
+// name) with the given sorted upper bounds.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{
+		name:      name,
+		help:      help,
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]uint64, len(bounds)+1),
+		exemplars: make([]exemplar, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value with its originating trace ID (empty when
+// the request carried none; the bucket then keeps its previous
+// exemplar).
+func (h *Histogram) Observe(v float64, traceID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.total++
+	// The exemplar goes on the tightest bucket that admits the value
+	// (the one an operator would drill into), while counts are
+	// cumulative across all admitting buckets.
+	placed := false
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			if !placed && traceID != "" {
+				h.exemplars[i] = exemplar{traceID: traceID, value: v, set: true}
+				placed = true
+			}
+		}
+	}
+	last := len(h.counts) - 1
+	h.counts[last]++
+	if !placed && traceID != "" {
+		h.exemplars[last] = exemplar{traceID: traceID, value: v, set: true}
+	}
+}
+
+// Count returns the total observation count.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// WritePrometheus implements MetricsWriter: the standard _bucket/_sum/
+// _count series with OpenMetrics exemplars appended to buckets that
+// have one.
+func (h *Histogram) WritePrometheus(w io.Writer) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b []byte
+	b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	writeBucket := func(le string, count uint64, ex exemplar) {
+		b = fmt.Appendf(b, "%s_bucket{le=%q} %d", h.name, le, count)
+		if ex.set {
+			b = fmt.Appendf(b, " # {trace_id=%q} %g", ex.traceID, ex.value)
+		}
+		b = append(b, '\n')
+	}
+	for i, ub := range h.bounds {
+		writeBucket(fmt.Sprintf("%g", ub), h.counts[i], h.exemplars[i])
+	}
+	writeBucket("+Inf", h.counts[len(h.counts)-1], h.exemplars[len(h.counts)-1])
+	b = fmt.Appendf(b, "%s_sum %g\n%s_count %d\n", h.name, h.sum, h.name, h.total)
+	_, err := w.Write(b)
+	return err
+}

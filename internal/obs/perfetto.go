@@ -20,6 +20,8 @@ type PerfettoEvent struct {
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	S    string            `json:"s,omitempty"`
+	ID   int               `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -173,6 +175,12 @@ func WritePerfetto(w io.Writer, events []trace.Event) error {
 		}
 	}
 
+	return encodePerfetto(w, out)
+}
+
+// encodePerfetto writes the trace_event envelope shared by both
+// exporters.
+func encodePerfetto(w io.Writer, out []PerfettoEvent) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(PerfettoTrace{TraceEvents: out, DisplayTimeUnit: "ms"})

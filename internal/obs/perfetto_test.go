@@ -7,6 +7,7 @@ import (
 
 	"scord/internal/config"
 	"scord/internal/gpu"
+	"scord/internal/obs/tracing"
 	"scord/internal/scor/micro"
 	"scord/internal/trace"
 )
@@ -134,5 +135,170 @@ func TestPerfettoFromInjectedRace(t *testing.T) {
 	}
 	if races == 0 {
 		t.Fatal("no race annotation from the injected race")
+	}
+}
+
+// TestPerfettoEmptyRing: exporting a tracer that recorded nothing still
+// produces a valid trace document (metadata only, no spans).
+func TestPerfettoEmptyRing(t *testing.T) {
+	tr := trace.New(16)
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			t.Fatalf("unexpected %s event %q in empty export", e.Ph, e.Name)
+		}
+	}
+}
+
+// TestPerfettoRingWraparoundMidSpan: when the bounded ring evicts the
+// opening half of a span (the kernel start, a barrier wait), the export
+// degrades cleanly — orphaned closes are dropped, no span is invented,
+// and the document stays valid.
+func TestPerfettoRingWraparoundMidSpan(t *testing.T) {
+	tr := trace.New(3) // small enough to evict the kernel open + wait
+	tr.Record(trace.Event{Cycle: 0, Kind: trace.EvKernel, Info: "k"})
+	tr.Record(trace.Event{Cycle: 5, Kind: trace.EvBarrierWait, Block: 0, Warp: 0})
+	tr.Record(trace.Event{Cycle: 8, Kind: trace.EvFence, Block: 0, Warp: 1, Info: "device"})
+	tr.Record(trace.Event{Cycle: 9, Kind: trace.EvFence, Block: 0, Warp: 2, Info: "device"})
+	tr.Record(trace.Event{Cycle: 20, Kind: trace.EvBarrier, Block: 0, Info: "id=1 warps=1"})
+	tr.Record(trace.Event{Cycle: 40, Kind: trace.EvKernelEnd, Info: "k"})
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			t.Fatalf("span %q invented from an orphaned close (open half was evicted)", e.Name)
+		}
+	}
+}
+
+// TestPerfettoKernelOpenAtExport: a kernel with no end event is closed
+// at the last retained cycle, and a barrier wait with no release closes
+// there too, flagged as unreleased.
+func TestPerfettoKernelOpenAtExport(t *testing.T) {
+	events := []trace.Event{
+		{Cycle: 0, Kind: trace.EvKernel, Info: "k"},
+		{Cycle: 10, Kind: trace.EvBarrierWait, Block: 2, Warp: 3},
+		{Cycle: 35, Kind: trace.EvFence, Block: 2, Warp: 0, Info: "device"},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var kernel, waits int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == "k":
+			kernel++
+			if e.Ts != 0 || e.Dur != 35 {
+				t.Fatalf("open kernel closed at ts=%d dur=%d, want the last cycle 35", e.Ts, e.Dur)
+			}
+		case e.Ph == "X" && e.Name == "barrier-wait":
+			waits++
+			if e.Ts+e.Dur != 35 || e.Args["release"] != "unreleased-at-trace-end" {
+				t.Fatalf("dangling wait: ts=%d dur=%d args=%v", e.Ts, e.Dur, e.Args)
+			}
+		}
+	}
+	if kernel != 1 || waits != 1 {
+		t.Fatalf("kernel=%d waits=%d", kernel, waits)
+	}
+}
+
+// TestPerfettoSpansExport: the span-tree exporter nests block tracks,
+// keeps span attrs as args, and turns race events into instants with
+// flow arrows between the access spans.
+func TestPerfettoSpansExport(t *testing.T) {
+	tr := tracing.New(tracing.ClockCycles, tracing.DeriveTraceID("t"), nil)
+	root := tr.StartRootAt("run", 0)
+	k := root.StartChildAt("kernel:k", 0)
+	phase := k.StartChildAt("barrier-phase", 0)
+	phase.SetAttr("block", "0")
+	prev := phase.StartChildAt("check-batch", 2)
+	prev.SetAttr("block", "0")
+	prev.SetAttr("warp", "0")
+	prev.FinishAt(10)
+	phase2 := k.StartChildAt("barrier-phase", 0)
+	phase2.SetAttr("block", "1")
+	cur := phase2.StartChildAt("check-batch", 20)
+	cur.SetAttr("block", "1")
+	cur.SetAttr("warp", "0")
+	cur.FinishAt(30)
+	phase.FinishAt(40)
+	phase2.FinishAt(40)
+	k.FinishAt(40)
+	root.FinishAt(40)
+	tracing.AttachRaces(tr, []tracing.RaceMark{{
+		Kind: "missing-device-fence", Addr: 0x80, Site: "s",
+		PrevBlock: 0, PrevWarp: 0, PrevCycle: 5,
+		CurBlock: 1, CurWarp: 0, CurCycle: 25,
+	}})
+	var buf bytes.Buffer
+	if err := WritePerfettoSpans(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var flowStart, flowEnd, race *PerfettoEvent
+	batchTids := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == "check-batch":
+			batchTids[e.Args["block"]] = e.Tid
+		case e.Ph == "s":
+			flowStart = &doc.TraceEvents[i]
+		case e.Ph == "f":
+			flowEnd = &doc.TraceEvents[i]
+		case e.Ph == "i" && e.Name == "race":
+			race = &doc.TraceEvents[i]
+		}
+	}
+	if race == nil || flowStart == nil || flowEnd == nil {
+		t.Fatalf("race=%v flowStart=%v flowEnd=%v", race, flowStart, flowEnd)
+	}
+	if race.Args["kind"] != "missing-device-fence" || race.Args["addr"] != "0x80" {
+		t.Fatalf("race args: %v", race.Args)
+	}
+	// The flow starts on the previous access's track at its cycle and
+	// ends at the race instant on the current access's track.
+	if flowStart.Tid != batchTids["0"] || flowStart.Ts != 5 {
+		t.Fatalf("flow start tid=%d ts=%d, want tid=%d ts=5", flowStart.Tid, flowStart.Ts, batchTids["0"])
+	}
+	if flowEnd.Tid != batchTids["1"] || flowEnd.Ts != 25 || flowEnd.Tid != race.Tid {
+		t.Fatalf("flow end tid=%d ts=%d race tid=%d", flowEnd.Tid, flowEnd.Ts, race.Tid)
+	}
+	if flowStart.ID == 0 || flowStart.ID != flowEnd.ID {
+		t.Fatalf("flow ids %d vs %d", flowStart.ID, flowEnd.ID)
+	}
+}
+
+// TestPerfettoSpansEmptyExport: an empty span export stays valid.
+func TestPerfettoSpansEmptyExport(t *testing.T) {
+	tr := tracing.New(tracing.ClockCycles, tracing.DeriveTraceID("empty"), nil)
+	var buf bytes.Buffer
+	if err := WritePerfettoSpans(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc PerfettoTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
 	}
 }

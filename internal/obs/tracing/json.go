@@ -1,0 +1,68 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SpanFormat names the self-contained JSON span format version.
+const SpanFormat = "scord-spans/1"
+
+// ExportSpan is one span in the JSON export.
+type ExportSpan struct {
+	SpanID   string  `json:"span_id"`
+	ParentID string  `json:"parent_id,omitempty"`
+	Name     string  `json:"name"`
+	Start    uint64  `json:"start"`
+	End      uint64  `json:"end"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Events   []Event `json:"events,omitempty"`
+}
+
+// Export is the self-contained JSON form of one trace: identity, clock
+// domain, and every retained span in deterministic order. It needs no
+// out-of-band context to interpret.
+type Export struct {
+	Format  string       `json:"format"`
+	TraceID string       `json:"trace_id"`
+	Domain  Domain       `json:"clock_domain"`
+	Dropped int          `json:"dropped_spans,omitempty"`
+	Spans   []ExportSpan `json:"spans"`
+}
+
+// Snapshot builds the exportable form of the tracer's current state.
+// Open spans are closed at the maximum observed timestamp (see Spans).
+func (t *Tracer) Snapshot() Export {
+	spans := t.Spans()
+	out := Export{
+		Format:  SpanFormat,
+		TraceID: t.traceID.String(),
+		Domain:  t.domain,
+		Dropped: t.dropped,
+		Spans:   make([]ExportSpan, 0, len(spans)),
+	}
+	for _, s := range spans {
+		es := ExportSpan{
+			SpanID: s.id.String(),
+			Name:   s.name,
+			Start:  s.start,
+			End:    s.end,
+			Attrs:  s.attrs,
+			Events: s.events,
+		}
+		if !s.parent.IsZero() {
+			es.ParentID = s.parent.String()
+		}
+		out.Spans = append(out.Spans, es)
+	}
+	return out
+}
+
+// WriteJSON writes the trace in the self-contained JSON span format.
+// Field order is fixed by the struct definitions and span order by
+// (start, creation order), so the bytes are deterministic.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Snapshot())
+}

@@ -1,0 +1,91 @@
+package tracing
+
+import "fmt"
+
+// RaceMark identifies one race verdict in terms the cycle-domain span
+// tree can locate: both access sides as (block, warp, cycle) triples.
+// The exporter turns each mark into a race instant with flow arrows
+// linking the two check-batch spans that contain the accesses.
+//
+// Block and warp identities on the previous side come from the
+// detector's metadata entry, which truncates them to 7/5 bits; for the
+// workloads this simulator runs (≤128 blocks, ≤32 warps) the truncated
+// IDs are the real ones.
+type RaceMark struct {
+	// Kind is the race-kind label shown on the instant.
+	Kind string
+	// Addr and Site identify the racing word for the instant's args.
+	Addr uint64
+	Site string
+
+	PrevBlock, PrevWarp int
+	PrevCycle           uint64
+	CurBlock, CurWarp   int
+	CurCycle            uint64
+}
+
+// AttachRaces adds one "race" event per mark to the span tree, anchored
+// on the check-batch span containing the current access (falling back to
+// the root when no batch matches). Each event carries the span IDs of
+// both access sides as attributes, which WritePerfettoSpans resolves
+// into flow arrows. Call after the builder has finished (all spans
+// closed); marks that match no span still produce a root-anchored event
+// so no verdict silently disappears from the export.
+func AttachRaces(t *Tracer, marks []RaceMark) {
+	for _, m := range marks {
+		anchor := t.findBatch(m.CurBlock, m.CurWarp, m.CurCycle)
+		prev := t.findBatch(m.PrevBlock, m.PrevWarp, m.PrevCycle)
+		attrs := []Attr{
+			{Key: "kind", Value: m.Kind},
+			{Key: "addr", Value: fmt.Sprintf("%#x", m.Addr)},
+			{Key: "site", Value: m.Site},
+			{Key: "prev_cycle", Value: fmt.Sprintf("%d", m.PrevCycle)},
+			{Key: "cur_cycle", Value: fmt.Sprintf("%d", m.CurCycle)},
+		}
+		if prev != nil {
+			attrs = append(attrs, Attr{Key: "prev_span", Value: prev.ID().String()})
+		}
+		target := t.rootSpan()
+		if anchor != nil {
+			target = anchor
+			attrs = append(attrs, Attr{Key: "cur_span", Value: anchor.ID().String()})
+		}
+		if target != nil {
+			target.AddEvent("race", m.CurCycle, attrs...)
+		}
+	}
+}
+
+// findBatch returns the check-batch span for (block, warp) whose
+// interval contains cycle, or nil. Spans are scanned in creation order,
+// so ties resolve deterministically to the earliest batch.
+func (t *Tracer) findBatch(block, warp int, cycle uint64) *Span {
+	blockS, warpS := fmt.Sprintf("%d", block), fmt.Sprintf("%d", warp)
+	for _, s := range t.spans {
+		if s.name != "check-batch" {
+			continue
+		}
+		var bOK, wOK bool
+		for _, a := range s.attrs {
+			if a.Key == "block" && a.Value == blockS {
+				bOK = true
+			}
+			if a.Key == "warp" && a.Value == warpS {
+				wOK = true
+			}
+		}
+		if bOK && wOK && s.start <= cycle && (s.open || cycle <= s.end) {
+			return s
+		}
+	}
+	return nil
+}
+
+// rootSpan returns the first recorded span (the builder's "run" root),
+// or nil for an empty tracer.
+func (t *Tracer) rootSpan() *Span {
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return t.spans[0]
+}

@@ -1,0 +1,75 @@
+package tracing
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// Traceparent carries the W3C trace-context fields scord propagates on
+// every scord-serve request: `00-<trace-id>-<parent-id>-<flags>`.
+type Traceparent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// FlagSampled is the W3C sampled bit.
+const FlagSampled byte = 0x01
+
+// String renders the header value in canonical lowercase-hex form.
+func (tp Traceparent) String() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(tp.TraceID.String())
+	b.WriteByte('-')
+	b.WriteString(tp.SpanID.String())
+	b.WriteByte('-')
+	const hexdigits = "0123456789abcdef"
+	b.WriteByte(hexdigits[tp.Flags>>4])
+	b.WriteByte(hexdigits[tp.Flags&0xf])
+	return b.String()
+}
+
+// ParseTraceparent decodes a traceparent header value. Per the W3C spec
+// it accepts any version except ff, requires lowercase field lengths
+// 2/32/16/2, and rejects all-zero trace or parent IDs.
+func ParseTraceparent(s string) (Traceparent, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return Traceparent{}, false
+	}
+	ver, traceHex, spanHex, flagsHex := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || len(traceHex) != 32 || len(spanHex) != 16 || len(flagsHex) != 2 {
+		return Traceparent{}, false
+	}
+	if ver == "ff" {
+		return Traceparent{}, false
+	}
+	var vb [1]byte
+	if _, err := hex.Decode(vb[:], []byte(ver)); err != nil {
+		return Traceparent{}, false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return Traceparent{}, false
+	}
+	if s != strings.ToLower(s) {
+		return Traceparent{}, false
+	}
+	var tp Traceparent
+	if _, err := hex.Decode(tp.TraceID[:], []byte(traceHex)); err != nil {
+		return Traceparent{}, false
+	}
+	if _, err := hex.Decode(tp.SpanID[:], []byte(spanHex)); err != nil {
+		return Traceparent{}, false
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(flagsHex)); err != nil {
+		return Traceparent{}, false
+	}
+	tp.Flags = fb[0]
+	if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+		return Traceparent{}, false
+	}
+	return tp, true
+}

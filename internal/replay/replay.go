@@ -101,6 +101,13 @@ func (s *ScoRD) Counters() stats.Stats { return DetectorCounters(&s.st) }
 // Overflowed reports distinct races dropped after the record cap.
 func (s *ScoRD) Overflowed() int { return s.det.Overflowed() }
 
+// EnableProvenance switches on evidence capture in the wrapped detector
+// (must be called before replaying; see core.Detector.EnableProvenance).
+func (s *ScoRD) EnableProvenance() { s.det.EnableProvenance() }
+
+// EvidenceFor returns the captured provenance for one race record.
+func (s *ScoRD) EvidenceFor(r core.Record) (core.Evidence, bool) { return s.det.EvidenceFor(r) }
+
 // DetectorCounters extracts the counters the detection logic itself owns
 // and bumps — the subset a replay reproduces bit-for-bit. The remaining
 // Stats fields (cycles, cache/DRAM/NOC traffic, detector stalls) are

@@ -95,11 +95,17 @@ func (p *Pool) Workers() int { return p.workers * len(p.shards) }
 // Shards returns the shard count.
 func (p *Pool) Shards() int { return len(p.shards) }
 
-// shardFor maps a tenant onto its shard.
-func (p *Pool) shardFor(tenant string) *shard {
+// ShardIndex returns the shard a tenant hashes onto — the request log's
+// shard field, so a log line can be joined to per-shard behavior.
+func (p *Pool) ShardIndex(tenant string) int {
 	h := fnv.New32a()
 	h.Write([]byte(tenant))
-	return p.shards[h.Sum32()%uint32(len(p.shards))]
+	return int(h.Sum32() % uint32(len(p.shards)))
+}
+
+// shardFor maps a tenant onto its shard.
+func (p *Pool) shardFor(tenant string) *shard {
+	return p.shards[p.ShardIndex(tenant)]
 }
 
 // Submit enqueues run under the tenant's shard and returns a channel that

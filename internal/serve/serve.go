@@ -29,11 +29,14 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"scord/internal/config"
+	"scord/internal/core"
 	"scord/internal/obs"
 	"scord/internal/replay"
 	"scord/internal/tracefile"
+	"scord/internal/version"
 )
 
 // Component is one independently health-checked part of the service.
@@ -62,6 +65,9 @@ type Config struct {
 	// CacheEntries bounds the replay-outcome LRU.
 	CacheEntries int
 
+	// SpanEntries bounds the request span-tree store behind /v1/spans.
+	SpanEntries int
+
 	// Logger receives request-level diagnostics; nil discards them.
 	Logger *slog.Logger
 }
@@ -85,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 256
 	}
+	if c.SpanEntries < 1 {
+		c.SpanEntries = 512
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -106,6 +115,14 @@ type Server struct {
 	store *Store
 	pool  *Pool
 	cache *ResultCache
+	spans *SpanStore
+
+	// epoch anchors the wall clock: every request span's timestamps are
+	// microseconds since process start, so span trees from one process
+	// share one time axis.
+	epoch     time.Time
+	replayLat *obs.Histogram
+	uploadLat *obs.Histogram
 
 	draining atomic.Bool
 }
@@ -119,12 +136,22 @@ func New(cfg Config) *Server {
 		store: NewStore(cfg.MaxStoreBytes),
 		pool:  NewPool(cfg.Shards, cfg.WorkersPerShard, cfg.QueueDepth),
 		cache: NewResultCache(cfg.CacheEntries),
+		spans: NewSpanStore(cfg.SpanEntries),
+		epoch: time.Now(),
+		replayLat: obs.NewHistogram("scord_serve_replay_seconds",
+			"end-to-end /v1/replay latency (exemplars carry trace IDs)", obs.DefaultLatencyBuckets),
+		uploadLat: obs.NewHistogram("scord_serve_upload_seconds",
+			"end-to-end /v1/traces upload latency (exemplars carry trace IDs)", obs.DefaultLatencyBuckets),
 	}
 }
 
+// wallClock is the serve path's tracing clock: microseconds since the
+// server was built.
+func (s *Server) wallClock() uint64 { return uint64(time.Since(s.epoch) / time.Microsecond) }
+
 // Components returns the health-checked parts in display order.
 func (s *Server) Components() []Component {
-	return []Component{s.pool, s.store, s.cache}
+	return []Component{s.pool, s.store, s.cache, s.spans}
 }
 
 // Pool exposes the worker pool (the load-test harness and drain logic
@@ -162,15 +189,40 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 //	POST /v1/traces   upload an SCTR trace (validated, content-addressed)
 //	GET  /v1/traces   list stored trace IDs
 //	POST /v1/replay   replay a stored trace under a detector set
+//	GET  /v1/spans    span tree of a recent request (?trace=<trace-id>)
 //	GET  /healthz     200 when every component is healthy, else 503
-//	GET  /statusz     JSON status of every component
+//	GET  /statusz     JSON status of every component plus build info
 func (s *Server) Handler() http.Handler {
-	mux := obs.NewMux(s.pool, s.store, s.cache)
+	mux := obs.NewMux(s.pool, s.store, s.cache, s.spans, s.replayLat, s.uploadLat)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/replay", s.handleReplay)
+	mux.HandleFunc("/v1/spans", s.handleSpans)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	return mux
+}
+
+// handleSpans serves the stored wall-clock span tree of a recent
+// request: GET /v1/spans?trace=<32-hex trace ID>. The trace ID comes
+// from a response's traceparent header, a request log line, or a
+// /metrics histogram exemplar.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("trace")
+	if id == "" {
+		http.Error(w, "missing trace query parameter", http.StatusBadRequest)
+		return
+	}
+	body, ok := s.spans.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no spans retained for trace %q", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -189,29 +241,41 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	rt := s.beginTrace(w, r, "http POST /v1/traces")
+	defer s.finishTrace(rt, s.uploadLat, "upload request")
+	read := rt.root.StartChild("read-body")
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	raw, err := io.ReadAll(body)
+	read.Finish()
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			rt.status = http.StatusRequestEntityTooLarge
 			http.Error(w, fmt.Sprintf("upload exceeds %d-byte cap", s.cfg.MaxUploadBytes),
 				http.StatusRequestEntityTooLarge)
 			return
 		}
+		rt.status = http.StatusBadRequest
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	admit := rt.root.StartChild("store-admission")
 	tr, dup, err := s.store.Put(raw)
+	admit.Finish()
 	if err != nil {
 		if errors.Is(err, ErrStoreFull) {
+			rt.status = http.StatusInsufficientStorage
 			http.Error(w, err.Error(), http.StatusInsufficientStorage)
 			return
 		}
 		// tracefile.Reader rejected the bytes: corrupt or truncated.
+		rt.status = http.StatusBadRequest
 		http.Error(w, "invalid trace: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.log.Info("trace stored", "id", tr.ID, "bytes", len(tr.Raw), "ops", tr.Ops, "dup", dup)
+	rt.traceHash = tr.ID
+	s.log.Info("trace stored", "id", tr.ID, "bytes", len(tr.Raw), "ops", tr.Ops, "dup", dup,
+		"trace_id", rt.tr.TraceID().String())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":       tr.ID,
 		"dup":      dup,
@@ -246,18 +310,38 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	tenant := r.Header.Get("X-Scord-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	rt := s.beginTrace(w, r, "http POST /v1/replay")
+	defer s.finishTrace(rt, s.replayLat, "replay request")
+	rt.tenant = tenant
+	rt.shard = s.pool.ShardIndex(tenant)
+	rt.root.SetAttr("tenant", tenant)
+
+	// Admission: decode the request, resolve the trace and detector set,
+	// probe the result cache.
+	admit := rt.root.StartChild("admission")
 	var req replayRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		admit.Finish()
+		rt.status = http.StatusBadRequest
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	rt.traceHash = req.Trace
 	tr, ok := s.store.Get(req.Trace)
 	if !ok {
+		admit.Finish()
+		rt.status = http.StatusNotFound
 		http.Error(w, fmt.Sprintf("unknown trace %q", req.Trace), http.StatusNotFound)
 		return
 	}
 	names, err := detectorList(req.Detector)
 	if err != nil {
+		admit.Finish()
+		rt.status = http.StatusBadRequest
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -265,6 +349,8 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if req.Mode != "" {
 		dm, err := config.ParseMode(req.Mode)
 		if err != nil {
+			admit.Finish()
+			rt.status = http.StatusBadRequest
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -278,44 +364,65 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	if !req.NoCache {
 		if out, ok := s.cache.Get(key); ok {
+			admit.Finish()
+			rt.cache = "hit"
+			render := rt.root.StartChild("render")
 			s.respond(w, r, out, "hit")
+			render.Finish()
 			return
 		}
 	}
+	admit.Finish()
+	rt.cache = "miss"
 
-	tenant := r.Header.Get("X-Scord-Tenant")
-	if tenant == "" {
-		tenant = "default"
-	}
 	var (
 		out    *outcome
 		runErr error
 	)
+	// The worker closure runs on a pool goroutine while this handler
+	// blocks on <-done, so the span mutations below are ordered by the
+	// channel close, not concurrent with the handler's.
+	submitTS := s.wallClock()
 	done, err := s.pool.Submit(tenant, func() {
+		start := s.wallClock()
+		rt.queueWaitUS = start - submitTS
+		qw := rt.root.StartChildAt("queue-wait", submitTS)
+		qw.FinishAt(start)
+		worker := rt.root.StartChildAt("shard-worker", start)
+		worker.SetAttr("shard", fmt.Sprintf("%d", rt.shard))
+		rep := worker.StartChild("replay")
 		out, runErr = computeOutcome(tr, names, cfg)
+		rep.Finish()
+		worker.Finish()
 	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
+		rt.status = http.StatusTooManyRequests
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, ErrDraining):
+		rt.status = http.StatusServiceUnavailable
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case err != nil:
+		rt.status = http.StatusInternalServerError
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	<-done
 	if runErr != nil {
 		s.log.Error("replay failed", "trace", tr.ID, "err", runErr)
+		rt.status = http.StatusInternalServerError
 		http.Error(w, "replay: "+runErr.Error(), http.StatusInternalServerError)
 		return
 	}
 	if !req.NoCache {
 		s.cache.Put(key, out)
 	}
+	render := rt.root.StartChild("render")
 	s.respond(w, r, out, "miss")
+	render.Finish()
 }
 
 // respond writes one precomputed outcome; ?format=text selects the
@@ -353,6 +460,10 @@ type detectorResult struct {
 	Accesses int      `json:"accesses"`
 	Kernels  int      `json:"kernels"`
 	Races    []string `json:"races"`
+	// Provenance carries the ScoRD detector's full evidence record for
+	// each race verdict, aligned index-for-index with Races (scord
+	// target only; the comparison models capture no evidence).
+	Provenance []core.Evidence `json:"provenance,omitempty"`
 }
 
 // computeOutcome replays tr under every named detector and renders both
@@ -377,6 +488,14 @@ func computeOutcome(tr *Trace, names []string, cfg config.Config) (*outcome, err
 		if err != nil {
 			return nil, err
 		}
+		// The real detector captures verdict provenance so the JSON body
+		// can carry each race's evidence; enabling capture never changes
+		// detection results, so the text body stays byte-identical to
+		// the offline CLI's.
+		sc, isScoRD := t.(*replay.ScoRD)
+		if isScoRD {
+			sc.EnableProvenance()
+		}
 		res, err := replay.RunOps(rd.Header(), ops, t)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
@@ -386,13 +505,21 @@ func computeOutcome(tr *Trace, names []string, cfg config.Config) (*outcome, err
 		for _, rec := range res.Races {
 			races = append(races, res.DescribeRecord(rec))
 		}
-		results = append(results, detectorResult{
+		dr := detectorResult{
 			Detector: res.Detector,
 			Ops:      res.Ops,
 			Accesses: res.Accesses,
 			Kernels:  res.Kernels,
 			Races:    races,
-		})
+		}
+		if isScoRD {
+			for _, rec := range res.Races {
+				if ev, ok := sc.EvidenceFor(rec); ok {
+					dr.Provenance = append(dr.Provenance, ev)
+				}
+			}
+		}
+		results = append(results, dr)
 	}
 	jsonBody, err := json.Marshal(map[string]any{
 		"trace":       tr.ID,
@@ -438,6 +565,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		status[c.Name()] = componentStatus{Healthy: ok, Detail: detail, Status: c.Status()}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"build": map[string]string{
+			"version": version.Version,
+			"commit":  version.Commit,
+		},
 		"draining":   s.Draining(),
 		"components": status,
 	})

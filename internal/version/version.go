@@ -1,0 +1,23 @@
+// Package version carries the build identity stamped into every scord
+// binary at link time:
+//
+//	go build -ldflags "-X scord/internal/version.Version=v1.2.3 \
+//	                   -X scord/internal/version.Commit=abc1234" ./...
+//
+// Unstamped builds (go run, plain go build, tests) report "dev".
+package version
+
+var (
+	// Version is the release tag, or "dev" when unstamped.
+	Version = "dev"
+	// Commit is the VCS revision, empty when unstamped.
+	Commit = ""
+)
+
+// String renders the version with its commit when one was stamped.
+func String() string {
+	if Commit != "" {
+		return Version + " (" + Commit + ")"
+	}
+	return Version
+}
