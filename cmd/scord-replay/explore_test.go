@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExploreSubcommand records the racey fence micro and explores the
+// trace, comparing byte-for-byte against the checked-in golden (the same
+// diff the CI smoke step performs), then checks the JSON surface and the
+// flag contract.
+func TestExploreSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"explore", path}, &out, &errOut); code != 0 {
+		t.Fatalf("explore: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "explore_fence.golden"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("explore output differs from testdata/explore_fence.golden:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+
+	// The verdict is identical at any -jobs value.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"explore", "-jobs", "7", path}, &out, &errOut); code != 0 {
+		t.Fatalf("explore -jobs 7: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if out.String() != string(golden) {
+		t.Errorf("explore -jobs 7 output differs from the golden:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"explore", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("explore -json: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	js := out.String()
+	for _, want := range []string{`"exhaustive": true`, `"alloc": "m.data"`, `"witnessOK": true`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("explore -json missing %q:\n%s", want, js)
+		}
+	}
+
+	// -min-beyond is a suite-only gate.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"explore", "-min-beyond", "1", path}, &out, &errOut); code != 2 {
+		t.Fatalf("explore -min-beyond without -suite: exit code = %d, want 2", code)
+	}
+}
+
+// TestExploreRejectsCorruptTrace: a truncated trace fails cleanly.
+func TestExploreRejectsCorruptTrace(t *testing.T) {
+	good := filepath.Join(t.TempDir(), "good.sctr")
+	bad := filepath.Join(t.TempDir(), "bad.sctr")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-bench", "fence.racey.cross-none", "-o", good}, &out, &errOut); code != 0 {
+		t.Fatalf("record: exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"explore", bad}, &out, &errOut); code == 0 {
+		t.Fatal("exploring a truncated trace unexpectedly succeeded")
+	}
+}

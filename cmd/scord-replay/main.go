@@ -14,6 +14,8 @@
 //	scord-replay replay -perturb 500 -perturb-seed 7 gcol.sctr
 //	scord-replay predict gcol.sctr
 //	scord-replay predict -confirm gcol.sctr
+//	scord-replay explore gcol.sctr
+//	scord-replay explore -suite -min-beyond 1
 //	scord-replay table8 -dir traces/
 //
 // The replay subcommand's -perturb mode applies bounded, seeded
@@ -99,6 +101,7 @@ commands:
   replay   run detector models over a recorded trace
   explain  replay with provenance capture: per-race evidence and the Table III/IV rule that fired
   predict  soundly predict races reachable from a recorded trace
+  explore  enumerate and replay all inequivalent schedules of a trace (DPOR)
   repair   synthesize and verify a minimal-cost fix for a racy trace
   table8   record the micro corpus and regenerate Table VIII from it
 
@@ -122,6 +125,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runExplain(args[1:], stdout, stderr)
 	case "predict":
 		return runPredict(args[1:], stdout, stderr)
+	case "explore":
+		return runExplore(args[1:], stdout, stderr)
 	case "repair":
 		return runRepair(args[1:], stdout, stderr)
 	case "table8":

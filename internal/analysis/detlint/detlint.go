@@ -72,6 +72,10 @@ var deterministicCore = map[string]bool{
 	// order, witnesses and rendering must be a pure function of the
 	// trace.
 	"scord/internal/analysis/predict": true,
+	// The schedule explorer's emission order, counters and verdict must be
+	// a pure function of (trace, options) — byte-identical at any -jobs —
+	// so it joins the core alongside predict.
+	"scord/internal/analysis/explore": true,
 }
 
 func inDeterministicCore(pkgPath string) bool { return deterministicCore[pkgPath] }

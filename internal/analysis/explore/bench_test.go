@@ -1,0 +1,48 @@
+package explore_test
+
+import (
+	"testing"
+
+	"scord/internal/analysis/explore"
+)
+
+// BenchmarkExplore measures one full exploration of the masked-race
+// example per iteration — generation, parallel replay, witness
+// derivation and verification. The schedules/op metric reports how many
+// complete schedules each exploration covered; schedule throughput is
+// then schedules/op divided by ns/op.
+func BenchmarkExplore(b *testing.B) {
+	h, ops := explore.MaskedRaceExample()
+	opt := explore.Options{Jobs: 4}
+	var schedules int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := explore.Explore(h, ops, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		schedules = v.Explored + v.Seeded
+	}
+	b.ReportMetric(float64(schedules), "schedules/op")
+}
+
+// BenchmarkExploreSearch measures the focused confirmation search on
+// the masked prediction's segment.
+func BenchmarkExploreSearch(b *testing.B) {
+	h, ops := explore.MaskedRaceExample()
+	s := &explore.Searcher{}
+	pred, err := maskedPrediction(h, ops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := s.SearchTuple(h, ops, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !found {
+			b.Fatal("masked tuple not found")
+		}
+	}
+}

@@ -21,6 +21,11 @@ const (
 	// ConfirmedPerturbed: replay.PerturbTarget produced a legal witness
 	// schedule on which the detector reports the tuple.
 	ConfirmedPerturbed
+	// ConfirmedExplored: the greedy walk failed, but systematic schedule
+	// exploration (a ConfirmOptions.Searcher, normally the DPOR explorer
+	// in internal/analysis/explore) found a legal schedule on which the
+	// detector reports the tuple.
+	ConfirmedExplored
 )
 
 func (c Confirmation) String() string {
@@ -29,9 +34,47 @@ func (c Confirmation) String() string {
 		return "observed"
 	case ConfirmedPerturbed:
 		return "perturbed"
+	case ConfirmedExplored:
+		return "explored"
 	default:
 		return "unconfirmed"
 	}
+}
+
+// Searcher is a systematic schedule-space search the confirmation gate
+// can fall back to when the greedy PerturbTarget walk fails: it hunts
+// for *any* legal reordering of ops on which the dynamic detector
+// reports the prediction's (alloc, kind) tuple. Implemented by
+// internal/analysis/explore; an interface here so predict does not
+// depend on the explorer (which builds on predict's witnesses).
+type Searcher interface {
+	SearchTuple(h tracefile.Header, ops []tracefile.Op, p Prediction) (bool, error)
+}
+
+// ConfirmOptions extends Confirm with optional machinery.
+type ConfirmOptions struct {
+	// Searcher, when non-nil, is consulted after the greedy walk comes
+	// back unconfirmed — exhaustive (bounded) exploration replaces a
+	// single greedy witness schedule.
+	Searcher Searcher
+}
+
+// ConfirmWith is Confirm plus options: observed first, then the greedy
+// PerturbTarget witness schedule, then — if a Searcher is supplied and
+// the greedy walk failed — systematic schedule exploration.
+func ConfirmWith(h tracefile.Header, ops []tracefile.Op, p Prediction, observed map[Tuple]bool, opt ConfirmOptions) (Confirmation, error) {
+	c, err := Confirm(h, ops, p, observed)
+	if err != nil || c != Unconfirmed || opt.Searcher == nil {
+		return c, err
+	}
+	found, err := opt.Searcher.SearchTuple(h, ops, p)
+	if err != nil {
+		return Unconfirmed, err
+	}
+	if found {
+		return ConfirmedExplored, nil
+	}
+	return Unconfirmed, nil
 }
 
 // Confirm checks one prediction against the dynamic detector. observed

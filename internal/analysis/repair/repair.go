@@ -57,6 +57,13 @@ type Repairer struct {
 	// abstract interpretation of the suite source. nil disables the
 	// static leg (the two dynamic oracles still gate every fix).
 	Analysis *racepred.Analysis
+	// Searcher, when non-nil, upgrades both confirmation legs from the
+	// greedy PerturbTarget walk to systematic schedule exploration
+	// (normally an *explore.Searcher): the worklist gains races only
+	// exploration can reach, and Oracle 2 attacks surviving predictions
+	// with the full bounded search instead of a single witness schedule.
+	// nil preserves the legacy greedy behavior exactly.
+	Searcher predict.Searcher
 
 	applied  []Edit
 	sibBase  map[string]map[Target]bool
@@ -139,7 +146,7 @@ func (r *Repairer) confirmedTargets(st *state) ([]Target, error) {
 		if p.Alloc == "" || set[t] {
 			continue
 		}
-		conf, err := predict.Confirm(r.Header, r.Ops, p, st.observed)
+		conf, err := predict.ConfirmWith(r.Header, r.Ops, p, st.observed, predict.ConfirmOptions{Searcher: r.Searcher})
 		if err != nil {
 			return nil, err
 		}

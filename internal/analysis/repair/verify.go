@@ -171,7 +171,7 @@ func (r *Repairer) verify(st *state, target Target, e Edit) (pops []tracefile.Op
 		if t != target && st.predTuples[t] {
 			continue // pre-existing prediction, unrelated to this repair
 		}
-		conf, err := predict.Confirm(r.Header, pops, p, pobserved)
+		conf, err := predict.ConfirmWith(r.Header, pops, p, pobserved, predict.ConfirmOptions{Searcher: r.Searcher})
 		if err != nil {
 			return nil, ev, false, fmt.Sprintf("witness confirmation failed: %v", err)
 		}

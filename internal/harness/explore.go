@@ -1,0 +1,329 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"scord/internal/analysis/explore"
+	"scord/internal/analysis/predict"
+	"scord/internal/mem"
+	"scord/internal/replay"
+	"scord/internal/scor"
+	"scord/internal/scor/micro"
+	"scord/internal/tracefile"
+)
+
+// This file runs the schedule explorer (internal/analysis/explore) over
+// the whole suite on the harness worker pool: every app injection, every
+// base micro, and the synthetic masked-race example. Each row records
+// the configuration, explores the trace with the predictor's predictions
+// as seeds, and gates the result three ways:
+//
+//   - every race the dynamic detector observed on the recorded schedule
+//     must be found (schedule 0 replays the recorded equivalence class);
+//   - every prediction the greedy PerturbTarget walk confirms must be
+//     found (the seed phase guarantees explorer ⊇ greedy walk);
+//   - every finding's witness must pass predict.CheckWitness.
+//
+// Races the explorer reaches beyond both oracles are counted as
+// BeyondGreedy — the masked example must contribute at least one.
+
+// ExploreRow is one configuration's exploration outcome.
+type ExploreRow struct {
+	Bench     string `json:"bench"`
+	Injection string `json:"injection,omitempty"`
+	// ExpectRacey marks configurations whose recorded schedule should
+	// already race (injections and racey micros).
+	ExpectRacey bool `json:"expect_racey"`
+
+	Ops        int  `json:"ops"`
+	Explored   int  `json:"explored"`
+	Pruned     int  `json:"pruned"`
+	BoundedOut int  `json:"bounded_out"`
+	Seeded     int  `json:"seeded"`
+	Exhaustive bool `json:"exhaustive"`
+
+	// Races are the explorer's distinct tuples, in verdict order.
+	Races []string `json:"races,omitempty"`
+	// Dynamic and GreedyConfirmed size the two oracle sets.
+	Dynamic         int `json:"dynamic"`
+	GreedyConfirmed int `json:"greedy_confirmed"`
+	// BeyondGreedy counts explorer races neither oracle reaches.
+	BeyondGreedy int `json:"beyond_greedy"`
+
+	// Gate failures (empty/zero on a healthy run).
+	MissedDynamic   []string `json:"missed_dynamic,omitempty"`
+	MissedGreedy    []string `json:"missed_greedy,omitempty"`
+	WitnessFailures int      `json:"witness_failures,omitempty"`
+}
+
+// ExploreTable is the suite-wide exploration report.
+type ExploreTable struct {
+	Rows []ExploreRow `json:"rows"`
+}
+
+// GateErrors lists every gate violation in the table.
+func (t *ExploreTable) GateErrors() []string {
+	var errs []string
+	for _, r := range t.Rows {
+		label := r.Bench
+		if r.Injection != "" {
+			label += "/" + r.Injection
+		}
+		for _, m := range r.MissedDynamic {
+			errs = append(errs, fmt.Sprintf("%s: dynamic race %s not found by the explorer", label, m))
+		}
+		for _, m := range r.MissedGreedy {
+			errs = append(errs, fmt.Sprintf("%s: greedy-confirmed prediction %s not found by the explorer", label, m))
+		}
+		if r.WitnessFailures > 0 {
+			errs = append(errs, fmt.Sprintf("%s: %d findings with unverified witnesses", label, r.WitnessFailures))
+		}
+	}
+	return errs
+}
+
+// BeyondGreedy sums races only systematic exploration reached.
+func (t *ExploreTable) BeyondGreedy() int {
+	n := 0
+	for _, r := range t.Rows {
+		n += r.BeyondGreedy
+	}
+	return n
+}
+
+// WriteText renders the table deterministically.
+func (t *ExploreTable) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-36s %-20s %8s %8s %7s %7s %6s %5s  %s\n",
+		"bench", "injection", "explored", "pruned", "bounded", "seeded", "races", "new", "exhaustive")
+	for _, r := range t.Rows {
+		inj := r.Injection
+		if inj == "" {
+			inj = "-"
+		}
+		fmt.Fprintf(w, "%-36s %-20s %8d %8d %7d %7d %6d %5d  %v\n",
+			r.Bench, inj, r.Explored, r.Pruned, r.BoundedOut, r.Seeded,
+			len(r.Races), r.BeyondGreedy, r.Exhaustive)
+		for _, race := range r.Races {
+			fmt.Fprintf(w, "    race %s\n", race)
+		}
+	}
+	fmt.Fprintf(w, "\nraces beyond the greedy walk: %d\n", t.BeyondGreedy())
+	if errs := t.GateErrors(); len(errs) > 0 {
+		fmt.Fprintf(w, "gate violations: %d\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintf(w, "  %s\n", e)
+		}
+	} else {
+		fmt.Fprintf(w, "gate violations: 0\n")
+	}
+}
+
+// Render returns the text report as a string.
+func (t *ExploreTable) Render() string {
+	var b strings.Builder
+	t.WriteText(&b)
+	return b.String()
+}
+
+// exploreTrace explores one decoded trace and gates it against the
+// dynamic detector and the greedy confirmation walk.
+func exploreTrace(h tracefile.Header, ops []tracefile.Op, maxSchedules int) (ExploreRow, error) {
+	row := ExploreRow{Bench: h.Benchmark, Ops: len(ops)}
+
+	// Oracle sets: dynamic tuples on the recorded schedule, and
+	// greedy-confirmable predictions.
+	sc, err := replay.NewScoRD(h.Config)
+	if err != nil {
+		return row, err
+	}
+	res, err := replay.RunOps(h, ops, sc)
+	if err != nil {
+		return row, err
+	}
+	observed := map[predict.Tuple]bool{}
+	for _, rec := range res.Races {
+		var alloc string
+		if al, ok := res.Mem.Locate(mem.Addr(rec.Addr)); ok {
+			alloc = al.Name
+		}
+		observed[predict.Tuple{Alloc: alloc, Kind: rec.Kind}] = true
+	}
+	pres, err := predict.Run(h, ops, predict.Options{})
+	if err != nil {
+		return row, err
+	}
+	greedy := map[predict.Tuple]bool{}
+	for _, p := range pres.Predictions {
+		conf, err := predict.Confirm(h, ops, p, observed)
+		if err != nil {
+			return row, err
+		}
+		if conf != predict.Unconfirmed {
+			greedy[predict.Tuple{Alloc: p.Alloc, Kind: p.Record.Kind}] = true
+		}
+	}
+	row.Dynamic = len(observed)
+	row.GreedyConfirmed = len(greedy)
+
+	v, err := explore.Explore(h, ops, explore.Options{
+		MaxSchedules: maxSchedules,
+		Jobs:         1, // rows are already parallel; keep each job single-threaded
+		Seeds:        pres.Predictions,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Explored, row.Pruned, row.BoundedOut = v.Explored, v.Pruned, v.BoundedOut
+	row.Seeded, row.Exhaustive = v.Seeded, v.Exhaustive
+
+	covered := map[predict.Tuple]bool{}
+	for _, f := range v.Races {
+		t := f.Tuple()
+		covered[t] = true
+		row.Races = append(row.Races, t.String())
+		if !f.WitnessOK {
+			row.WitnessFailures++
+		}
+		if !observed[t] && !greedy[t] {
+			row.BeyondGreedy++
+		}
+	}
+	for _, t := range sortedTuples(observed) {
+		if !covered[t] {
+			row.MissedDynamic = append(row.MissedDynamic, t.String())
+		}
+	}
+	for _, t := range sortedTuples(greedy) {
+		if !covered[t] {
+			row.MissedGreedy = append(row.MissedGreedy, t.String())
+		}
+	}
+	return row, nil
+}
+
+// sortedTuples orders a tuple set deterministically.
+func sortedTuples(set map[predict.Tuple]bool) []predict.Tuple {
+	out := make([]predict.Tuple, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return tupleLess(out[i], out[j]) })
+	return out
+}
+
+func tupleLess(a, b predict.Tuple) bool {
+	if a.Alloc != b.Alloc {
+		return a.Alloc < b.Alloc
+	}
+	return a.Kind < b.Kind
+}
+
+// exploreApp explores one app injection's recorded trace.
+func exploreApp(appIdx int, inj string, maxSchedules int) (ExploreRow, error) {
+	b := scor.Apps()[appIdx]
+	h, ops, err := recordRepairTrace(b, []string{inj})
+	if err != nil {
+		return ExploreRow{}, err
+	}
+	row, err := exploreTrace(h, ops, maxSchedules)
+	if err != nil {
+		return ExploreRow{}, err
+	}
+	row.Injection = inj
+	row.ExpectRacey = true
+	return row, nil
+}
+
+// exploreMicro explores one base-suite micro's recorded trace.
+func exploreMicro(mi, maxSchedules int) (ExploreRow, error) {
+	m := micro.All()[mi]
+	h, ops, err := recordRepairTrace(m, nil)
+	if err != nil {
+		return ExploreRow{}, err
+	}
+	row, err := exploreTrace(h, ops, maxSchedules)
+	if err != nil {
+		return ExploreRow{}, err
+	}
+	row.ExpectRacey = m.Racey()
+	return row, nil
+}
+
+// exploreMasked explores the synthetic masked-race example.
+func exploreMasked(maxSchedules int) (ExploreRow, error) {
+	h, ops := explore.MaskedRaceExample()
+	return exploreTrace(h, ops, maxSchedules)
+}
+
+// RunExploreSuite explores every app injection, every base micro, and
+// the masked-race example on the worker pool. maxSchedules bounds each
+// row's DFS (0 = 64); the superset-of-greedy gate is budget-independent
+// because every prediction seeds the explorer. Rows land in
+// order-indexed slots, so the table is byte-identical at any Jobs.
+func RunExploreSuite(opt Options, maxSchedules int) (*ExploreTable, error) {
+	if maxSchedules <= 0 {
+		maxSchedules = 64
+	}
+	type jobSpec struct {
+		app    int // -1 for micro jobs, -2 for the masked example
+		inj    string
+		mi     int
+		masked bool
+	}
+	var specs []jobSpec
+	apps := scor.Apps()
+	for ai, b := range apps {
+		for _, inj := range b.Injections() {
+			specs = append(specs, jobSpec{app: ai, inj: inj, mi: -1})
+		}
+	}
+	for mi := range micro.All() {
+		specs = append(specs, jobSpec{app: -1, mi: mi})
+	}
+	specs = append(specs, jobSpec{app: -2, masked: true})
+
+	rows := make([]ExploreRow, len(specs))
+	var sims []Sim
+	for si := range specs {
+		si := si
+		spec := specs[si]
+		var label string
+		switch {
+		case spec.app >= 0:
+			label = fmt.Sprintf("explore/%s/%s", apps[spec.app].Name(), spec.inj)
+		case spec.masked:
+			label = "explore/explore.masked"
+		default:
+			label = "explore/" + micro.All()[spec.mi].Name()
+		}
+		sims = append(sims, Sim{
+			Label: label,
+			Run: func() error {
+				var (
+					row ExploreRow
+					err error
+				)
+				switch {
+				case spec.app >= 0:
+					row, err = exploreApp(spec.app, spec.inj, maxSchedules)
+				case spec.masked:
+					row, err = exploreMasked(maxSchedules)
+				default:
+					row, err = exploreMicro(spec.mi, maxSchedules)
+				}
+				if err != nil {
+					return err
+				}
+				rows[si] = row
+				return nil
+			},
+		})
+	}
+	if err := runAll(opt, sims); err != nil {
+		return nil, err
+	}
+	return &ExploreTable{Rows: rows}, nil
+}

@@ -3,8 +3,6 @@ package replay
 import (
 	"math/rand"
 
-	"scord/internal/core"
-	"scord/internal/mem"
 	"scord/internal/tracefile"
 )
 
@@ -15,13 +13,9 @@ import (
 // recorded execution, used to hunt schedule-dependent races that the one
 // recorded schedule happened not to expose.
 //
-// A swap is legal only between two access ops from different warps — so
-// program order within a warp is preserved and no op ever crosses a
-// fence, barrier, kernel boundary or allocation — and never between two
-// accesses of the same word when either is atomic (reordering a
-// synchronization access against its observer would fabricate an
-// interleaving the program's own synchronization forbids, not explore a
-// reachable one). Races found under perturbation are therefore
+// A swap is legal exactly when Swappable permits it (see legality.go
+// for the shared rules: program order, fence/barrier/kernel pinning,
+// same-word synchronization). Races found under perturbation are
 // candidates under *some* warp schedule, not certainties; the
 // cross-check against the static predictor's tuple set (racepred) keeps
 // the hunt honest.
@@ -38,7 +32,7 @@ func Perturb(ops []tracefile.Op, swaps, maxDist int, seed int64) []tracefile.Op 
 		i := rng.Intn(len(out) - 1)
 		dist := 1 + rng.Intn(maxDist)
 		for k := 0; k < dist && i+1 < len(out); k++ {
-			if !swappable(out[i], out[i+1]) {
+			if !Swappable(out[i], out[i+1]) {
 				break
 			}
 			out[i], out[i+1] = out[i+1], out[i]
@@ -71,12 +65,12 @@ func PerturbTarget(ops []tracefile.Op, i, j int) ([]tracefile.Op, int, int, bool
 	copy(out, ops)
 	for {
 		moved := false
-		for j > i+1 && swappable(out[j-1], out[j]) {
+		for j > i+1 && Swappable(out[j-1], out[j]) {
 			out[j-1], out[j] = out[j], out[j-1]
 			j--
 			moved = true
 		}
-		for j > i+1 && swappable(out[i], out[i+1]) {
+		for j > i+1 && Swappable(out[i], out[i+1]) {
 			out[i], out[i+1] = out[i+1], out[i]
 			i++
 			moved = true
@@ -87,20 +81,3 @@ func PerturbTarget(ops []tracefile.Op, i, j int) ([]tracefile.Op, int, int, bool
 	}
 }
 
-// swappable reports whether two adjacent ops may legally exchange places.
-func swappable(x, y tracefile.Op) bool {
-	if x.Kind != tracefile.OpAccess || y.Kind != tracefile.OpAccess {
-		return false
-	}
-	a, b := x.Access, y.Access
-	if a.Block == b.Block && a.Warp == b.Warp {
-		return false // program order within a warp is inviolable
-	}
-	sameWord := a.Addr/mem.WordBytes == b.Addr/mem.WordBytes
-	syncish := x.AtomicOp != core.AtomicOther || y.AtomicOp != core.AtomicOther ||
-		a.Kind == core.KindAtomic || b.Kind == core.KindAtomic
-	if sameWord && syncish {
-		return false
-	}
-	return true
-}

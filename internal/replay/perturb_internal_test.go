@@ -59,8 +59,8 @@ func TestSwappable(t *testing.T) {
 		{"kernel blocks", acc(0, 0, 0, core.KindLoad, core.AtomicOther), kernel, false},
 	}
 	for _, c := range cases {
-		if got := swappable(c.x, c.y); got != c.want {
-			t.Errorf("%s: swappable = %v, want %v", c.name, got, c.want)
+		if got := Swappable(c.x, c.y); got != c.want {
+			t.Errorf("%s: Swappable = %v, want %v", c.name, got, c.want)
 		}
 	}
 }

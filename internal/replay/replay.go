@@ -241,6 +241,30 @@ func RunOps(h tracefile.Header, ops []tracefile.Op, t Target) (*Result, error) {
 	return res, nil
 }
 
+// RunOpsPermuted replays ops in the order given by perm (perm[k] is the
+// index into ops of the k-th op to apply) under the given header's
+// configuration. The schedule explorer uses this to replay thousands of
+// candidate interleavings of one decoded trace without materializing a
+// reordered op slice per schedule. perm must be a permutation of
+// [0, len(ops)); only its length and range are validated here —
+// legality of the interleaving is the caller's contract (CheckSchedule).
+func RunOpsPermuted(h tracefile.Header, ops []tracefile.Op, perm []int, t Target) (*Result, error) {
+	if len(perm) != len(ops) {
+		return nil, fmt.Errorf("replay: permutation has %d entries for %d ops", len(perm), len(ops))
+	}
+	res := newResult(h, t)
+	for _, idx := range perm {
+		if idx < 0 || idx >= len(ops) {
+			return nil, fmt.Errorf("replay: permutation entry %d out of range [0,%d)", idx, len(ops))
+		}
+		if err := res.apply(t, &ops[idx]); err != nil {
+			return nil, err
+		}
+	}
+	res.finish(t)
+	return res, nil
+}
+
 // ReadAll decodes a whole trace into memory — the entry point for
 // perturbation, which needs the op sequence as a mutable slice.
 func ReadAll(r *tracefile.Reader) ([]tracefile.Op, error) {
